@@ -1,0 +1,19 @@
+"""Ablation bench — Morton ordering vs TLR compressibility.
+
+ExaGeoStat Morton-orders locations before tiling; this bench quantifies
+how much rank/memory that ordering saves against natural and random
+orderings.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import ordering_study
+
+
+def test_ablation_ordering(benchmark, outdir):
+    """Writes the ordering-comparison table; Morton must win."""
+    table = benchmark.pedantic(ordering_study, rounds=1, iterations=1)
+    table.save("ablation_ordering")
+    rows = {row[0]: row for row in table.rows}
+    # Morton mean rank <= random-permutation mean rank.
+    assert rows["morton"][2] <= rows["random permutation"][2]

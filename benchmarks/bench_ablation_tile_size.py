@@ -1,0 +1,16 @@
+"""Ablation bench — tile-size trade-off (paper §VIII-C).
+
+The paper tunes nb=560 for dense tiles and nb=1900 for TLR; this bench
+sweeps nb on the host and via the paper-scale model.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import tile_size_sweep
+
+
+def test_ablation_tile_size(benchmark, outdir):
+    """Measured + modeled tile-size sweep table."""
+    table = benchmark.pedantic(tile_size_sweep, rounds=1, iterations=1)
+    table.save("ablation_tile_size")
+    assert len(table.rows) >= 2

@@ -1,0 +1,33 @@
+"""Figure 1 bench — TLR compression of a Matérn covariance matrix.
+
+Times the construction of a TLR matrix (generation + per-tile
+compression) and writes the rank/memory table that reproduces the
+quantitative content of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.data import generate_irregular_grid, sort_locations
+from repro.experiments.common import bench_scale
+from repro.experiments.fig1 import run_fig1
+from repro.kernels import MaternCovariance
+from repro.linalg import TLRMatrix
+
+
+def test_fig1_rank_table(benchmark, outdir):
+    """Rank structure vs accuracy, plus timed TLR construction."""
+    n, nb = (900, 150) if bench_scale() == "quick" else (2500, 250)
+    locs = generate_irregular_grid(n, seed=0)
+    locs, _, _ = sort_locations(locs)
+    model = MaternCovariance(1.0, 0.1, 0.5)
+
+    def build():
+        return TLRMatrix.from_generator(
+            n, nb, lambda rs, cs: model.tile(locs, rs, cs), acc=1e-9
+        )
+
+    tlr = benchmark(build)
+    assert tlr.compression_ratio() > 0.5
+
+    table = run_fig1(n=n, nb=nb)
+    table.save("fig1_tlr_representation")

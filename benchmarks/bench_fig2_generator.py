@@ -1,0 +1,18 @@
+"""Figure 2 bench — synthetic irregular-grid generation.
+
+Times the paper's location generator at a larger size and writes the
+Figure 2 property table (400 points, 362 fit + 38 predict).
+"""
+
+from __future__ import annotations
+
+from repro.data import generate_irregular_grid
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2_generator(benchmark, outdir):
+    """Generation throughput plus the Figure 2 property table."""
+    pts = benchmark(generate_irregular_grid, 40_000, 0)
+    assert pts.shape == (40_000, 2)
+    table = run_fig2()
+    table.save("fig2_irregular_grid")

@@ -1,0 +1,50 @@
+"""Figure 3 bench — time of one MLE iteration on shared memory.
+
+Two parts:
+
+* paper-scale modeled series for the four Intel machines (a-d panels),
+  written as one table per machine;
+* measured wall-clock per-iteration times on the host across the same
+  variant set (Full-block / Full-tile / TLR at several accuracies),
+  with the TLR evaluation itself as the benchmarked kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import generate_irregular_grid, sample_gaussian_field, sort_locations
+from repro.experiments.common import bench_scale
+from repro.experiments.fig3 import PAPER_MACHINES, measured_series, model_series
+from repro.kernels import MaternCovariance
+from repro.mle import LikelihoodEvaluator
+
+
+@pytest.mark.parametrize("machine", PAPER_MACHINES)
+def test_fig3_model_series(benchmark, outdir, machine):
+    """Paper-scale modeled panel for one machine."""
+    table = benchmark.pedantic(model_series, args=(machine,), rounds=1, iterations=1)
+    table.save(f"fig3_model_{machine}")
+    # Figure 3 shape: Full-block slowest, TLR(1e-5) fastest, at max n.
+    last = table.rows[-1]
+    assert last[1] > last[2] > last[-1]
+
+
+def test_fig3_measured_host(benchmark, outdir):
+    """Measured per-iteration times on the host (written as a table)."""
+    table = benchmark.pedantic(measured_series, rounds=1, iterations=1)
+    table.save("fig3_measured_host")
+    assert len(table.rows) >= 1
+
+
+@pytest.mark.parametrize("variant,acc", [("full-block", None), ("full-tile", None), ("tlr", 1e-7)])
+def test_fig3_single_iteration_kernel(benchmark, variant, acc):
+    """pytest-benchmark timing of one likelihood evaluation per variant."""
+    n = 1024 if bench_scale() == "quick" else 2500
+    model = MaternCovariance(1.0, 0.1, 0.5)
+    locs = generate_irregular_grid(n, seed=0)
+    locs, _, _ = sort_locations(locs)
+    z = sample_gaussian_field(locs, model, seed=1)
+    ev = LikelihoodEvaluator(locs, z, model, variant=variant, acc=acc, tile_size=128)
+    value = benchmark(ev, model.theta)
+    assert value < 0.0  # a log-density of continuous data

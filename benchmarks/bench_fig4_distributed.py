@@ -1,0 +1,34 @@
+"""Figure 4 bench — one MLE iteration on Shaheen-2 (256 / 1024 nodes).
+
+Modeled with the distributed performance estimator (the DESIGN.md §4
+substitution for the Cray XC40); the discrete-event simulator
+cross-checks the model on a small tile count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig4 import model_series
+from repro.perfmodel import DistributedSimulator, shaheen2
+
+
+@pytest.mark.parametrize("nodes", [256, 1024])
+def test_fig4_model_series(benchmark, outdir, nodes):
+    """Paper-scale modeled panel for one allocation size."""
+    table = benchmark.pedantic(model_series, args=(nodes,), rounds=1, iterations=1)
+    table.save(f"fig4_model_shaheen_{nodes}nodes")
+    # Shape: at the largest n, TLR(1e-5) beats full-tile clearly.
+    last = table.rows[-1]
+    assert last[1] is None or last[1] > last[-1]
+
+
+def test_fig4_des_crosscheck(benchmark):
+    """Discrete-event simulation of a small distributed TLR Cholesky."""
+    sim = DistributedSimulator(shaheen2(16))
+    tasks = sim.build_cholesky_dag(24, 1900, variant="tlr", acc=1e-7)
+    report = benchmark.pedantic(
+        sim.simulate, args=(tasks, 1900), kwargs={"variant": "tlr"}, rounds=1, iterations=1
+    )
+    assert report.makespan_s > 0
+    assert report.utilization(sim.cluster) <= 1.0

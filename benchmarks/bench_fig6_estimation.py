@@ -1,0 +1,32 @@
+"""Figure 6 bench — Monte-Carlo parameter-estimation boxplots.
+
+Runs the paper's §VIII-D.1 protocol (scaled to the bench scale) for the
+three true parameter vectors, writes the Figure 6 tables, and caches the
+raw results so the Figure 7 bench can reuse them within the session.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig6
+from repro.experiments.common import save_tables
+
+#: Session cache shared with bench_fig7 (same interpreter).
+RESULTS_CACHE: dict = {}
+
+
+def test_fig6_monte_carlo(benchmark, outdir):
+    """Full Monte-Carlo study; writes one table per true theta."""
+
+    def run():
+        return fig6.run_fig6_fig7()
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS_CACHE.update(results)
+    fig6_tables = [t6 for (t6, _t7, _raw) in results.values()]
+    save_tables(fig6_tables, "fig6_estimation_boxplots")
+    # Sanity on the shape: every technique produced estimates for all
+    # three parameters of every theta vector.
+    for label, (t6, _t7, raw) in results.items():
+        for technique, est in raw.estimates.items():
+            assert est.shape[1] == 3
+            assert (est > 0).all(), (label, technique)

@@ -1,0 +1,33 @@
+"""Speedup-summary bench — the paper's §VIII-B/C headline numbers.
+
+Derives maximum modeled TLR speedups from the Figure 3/4 series and
+checks them against the paper's claimed 7X/10X/13X/5X (shared memory)
+and up-to-5X (distributed).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import save_tables
+from repro.experiments.speedup import (
+    PAPER_CLAIMED_SPEEDUPS,
+    distributed_speedups,
+    shared_memory_speedups,
+)
+
+
+def test_speedup_summaries(benchmark, outdir):
+    """Writes the speedup tables; asserts the claimed windows."""
+
+    def run():
+        return shared_memory_speedups(), distributed_speedups(n_nodes=256)
+
+    shared, dist = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_tables([shared, dist], "speedup_summary")
+
+    by_machine = {row[0]: row[1] for row in shared.rows}
+    for name, claim in PAPER_CLAIMED_SPEEDUPS.items():
+        assert claim * 0.6 <= by_machine[name] <= claim * 1.4, (name, by_machine[name])
+
+    # Distributed: the paper reports up to ~5X.
+    best = max(row[1] for row in dist.rows)
+    assert 3.0 <= best <= 8.0

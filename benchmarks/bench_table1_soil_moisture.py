@@ -1,0 +1,29 @@
+"""Table I bench — per-region Matérn estimates, soil-moisture substitute.
+
+Fits every configured region with TLR at several accuracies and the
+full-tile reference; writes one table per Matérn parameter in the
+paper's layout and checks the headline agreement pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import save_tables
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_soil_moisture(benchmark, outdir):
+    """Region-wise estimation study (quick scale: subset of regions)."""
+    tables = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    save_tables(list(tables.values()), "table1_soil_moisture")
+
+    # Agreement pattern: the tightest TLR column must sit close to the
+    # Full-tile column (same data, near-exact algebra).
+    for pname, table in tables.items():
+        tight = table.headers.index("TLR 1e-09")
+        full = table.headers.index("Full-tile")
+        for row in table.rows:
+            t, f = float(row[tight]), float(row[full])
+            scale = max(abs(f), 0.1)
+            assert abs(t - f) / scale < 0.6, (pname, row[0], t, f)

@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration.
+
+Every benchmark writes its rendered result table(s) under ``results/``
+(override with ``REPRO_RESULTS_DIR``); the pytest-benchmark timing table
+covers the computational kernels themselves. ``REPRO_BENCH_SCALE=full``
+raises problem sizes toward the paper's (hours of compute).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import results_dir
+
+
+def pytest_sessionstart(session):
+    results_dir()
+
+
+def pytest_terminal_summary(terminalreporter):
+    terminalreporter.write_line(
+        f"repro: experiment tables written under {results_dir().resolve()}"
+    )
+
+
+@pytest.fixture(scope="session")
+def outdir():
+    """The session's results directory."""
+    return results_dir()

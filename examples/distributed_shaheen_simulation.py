@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Distributed-memory study on the modeled Shaheen-2 (paper Figs. 4-5).
+
+Uses the performance-model substitute for the Cray XC40 (DESIGN.md §4):
+the closed-form estimator projects one MLE iteration and one prediction
+at paper scale (n up to 2M over 256/1024 nodes), and the discrete-event
+simulator executes a small TLR Cholesky DAG over a modeled 16-node
+allocation with 2-D block-cyclic tiles to show utilization and
+communication behaviour.
+
+Run:  python examples/distributed_shaheen_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig4 import model_series
+from repro.experiments.fig5 import model_series as fig5_series
+from repro.perfmodel import DistributedSimulator, estimate_mle_iteration, shaheen2
+
+
+def paper_scale_projection() -> None:
+    print("=== Figure 4 (modeled): one MLE iteration on Shaheen-2 ===\n")
+    for nodes in (256, 1024):
+        print(model_series(nodes).render())
+    print("=== Figure 5 (modeled): prediction of 100 unknowns, 256 nodes ===\n")
+    print(fig5_series().render())
+
+
+def memory_wall_demo() -> None:
+    print("=== Memory accounting: why TLR unlocks larger n ===\n")
+    cluster = shaheen2(16)  # deliberately small allocation
+    print(f"{'n':>9}  {'variant':>10}  {'GB/node':>8}  {'fits?':>5}")
+    for n in (250_000, 500_000, 1_000_000):
+        for variant, nb, acc in (("full-tile", 560, 1e-9), ("tlr", 1900, 1e-9)):
+            est = estimate_mle_iteration(
+                n, variant=variant, nb=nb, acc=acc, cluster=cluster
+            )
+            print(
+                f"{n:>9}  {variant:>10}  {est.mem_per_node_bytes / 1e9:8.1f}  "
+                f"{'no' if est.oom else 'yes':>5}"
+            )
+    print("\n('no' rows are the paper's missing Figure-4 points: out of memory)\n")
+
+
+def des_drilldown() -> None:
+    print("=== Discrete-event simulation: TLR Cholesky on 16 nodes ===\n")
+    sim = DistributedSimulator(shaheen2(16))
+    for variant in ("full-tile", "tlr"):
+        tasks = sim.build_cholesky_dag(24, 1900, variant=variant, acc=1e-7)
+        rep = sim.simulate(tasks, 1900, variant=variant)
+        print(
+            f"{variant:>10}: makespan {rep.makespan_s:8.2f}s  "
+            f"tasks {rep.n_tasks}  comm {rep.comm_bytes / 1e9:6.2f} GB "
+            f"({rep.comm_events} transfers)  utilization {rep.utilization(sim.cluster):.2f}"
+        )
+    print()
+
+
+def main() -> None:
+    paper_scale_projection()
+    memory_wall_demo()
+    des_drilldown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Soil-moisture case study (paper §VIII-D.2, Table I).
+
+Fits region-wise Matérn models to the synthetic substitute for the
+Mississippi-basin soil-moisture data (fields generated from the paper's
+own full-tile Table I estimates; see DESIGN.md §4), comparing TLR at
+several accuracy thresholds against the full-tile reference — the
+agreement pattern Table I reports.
+
+Run:  python examples/soil_moisture_mississippi.py [region ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import MLEstimator
+from repro.data import SOIL_MOISTURE_REGION_THETA, SoilMoistureGenerator
+from repro.optim import default_matern_bounds
+
+
+def fit_region(region: str, n: int = 300) -> None:
+    gen = SoilMoistureGenerator(points_per_region=n)
+    ds = gen.region_dataset(region, seed=100)
+    truth = np.asarray(ds.meta["theta_true"])
+    truth_str = ", ".join(f"{v:g}" for v in truth)
+    print(f"\nRegion {region}: n={ds.n}, truth (paper full-tile) = ({truth_str})")
+    print(f"{'technique':>14}  {'variance':>9}  {'range':>8}  {'smoothness':>10}")
+    bounds = default_matern_bounds(ds.values, max_range=60.0)
+    for variant, acc in (("tlr", 1e-5), ("tlr", 1e-7), ("tlr", 1e-9), ("full-tile", None)):
+        est = MLEstimator.from_dataset(ds, variant=variant, acc=acc, tile_size=75)
+        fit = est.fit(maxiter=60, bounds=bounds, x0=truth)
+        label = "Full-tile" if acc is None else f"TLR {acc:.0e}"
+        print(
+            f"{label:>14}  {fit.theta[0]:9.3f}  {fit.theta[1]:8.3f}  {fit.theta[2]:10.3f}"
+        )
+
+
+def main() -> None:
+    regions = sys.argv[1:] or ["R1", "R7"]
+    for region in regions:
+        if region not in SOIL_MOISTURE_REGION_THETA:
+            raise SystemExit(f"unknown region {region!r}; choose from R1..R8")
+        fit_region(region)
+    print(
+        "\nPattern to observe (paper Table I): TLR estimates converge to the"
+        "\nFull-tile column as accuracy tightens; the strongly-correlated"
+        "\nregions (R7, R8) drift most at loose thresholds; smoothness is the"
+        "\nmost robust parameter."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Wind-speed case study (paper §VIII-D.2, Table II) with prediction.
+
+Fits region-wise Matérn models to the synthetic substitute for the
+WRF-generated Middle-East wind-speed data (Table II full-tile estimates
+as ground truth) and validates each fit by kriging 50 held-out points —
+the paper's Figure 9 protocol.
+
+Run:  python examples/wind_speed_middle_east.py [region ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import MLEstimator
+from repro.data import WIND_SPEED_REGION_THETA, WindSpeedGenerator, train_test_split
+from repro.mle import mean_squared_error
+from repro.optim import default_matern_bounds
+
+
+def study_region(region: str, n: int = 320, n_test: int = 50) -> None:
+    gen = WindSpeedGenerator(points_per_region=n)
+    ds = gen.region_dataset(region, seed=200)
+    truth = np.asarray(ds.meta["theta_true"])
+    train, test = train_test_split(ds, n_test, seed=201)
+    truth_str = ", ".join(f"{v:g}" for v in truth)
+    print(f"\nRegion {region}: truth = ({truth_str})  ({train.n} fit / {test.n} test)")
+    print(f"{'technique':>14}  {'variance':>9}  {'range':>8}  {'smooth':>7}  {'pred MSE':>9}")
+    bounds = default_matern_bounds(train.values, max_range=60.0)
+    for variant, acc in (("tlr", 1e-5), ("tlr", 1e-7), ("tlr", 1e-9), ("full-tile", None)):
+        est = MLEstimator.from_dataset(train, variant=variant, acc=acc, tile_size=68)
+        fit = est.fit(maxiter=60, bounds=bounds, x0=truth)
+        pred = est.predict(fit, test.locations)
+        mse = mean_squared_error(test.values, pred)
+        label = "Full-tile" if acc is None else f"TLR {acc:.0e}"
+        print(
+            f"{label:>14}  {fit.theta[0]:9.3f}  {fit.theta[1]:8.3f}  "
+            f"{fit.theta[2]:7.3f}  {mse:9.4f}"
+        )
+
+
+def main() -> None:
+    regions = sys.argv[1:] or ["R1", "R3"]
+    for region in regions:
+        if region not in WIND_SPEED_REGION_THETA:
+            raise SystemExit(f"unknown region {region!r}; choose from R1..R4")
+        study_region(region)
+    print(
+        "\nPattern to observe (paper Table II / Fig. 9): wind fields are"
+        "\nsmoother (theta3 ~ 1.2-1.4) and strongly correlated, so parameter"
+        "\nestimates demand tighter TLR accuracy — yet prediction MSE stays"
+        "\nclose to Full-tile across thresholds."
+    )
+
+
+if __name__ == "__main__":
+    main()

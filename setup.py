@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+A ``setup.py`` (with no ``[build-system]`` table in ``pyproject.toml``)
+keeps ``pip install -e .`` working on offline machines whose setuptools
+predates built-in ``bdist_wheel`` support and that lack the ``wheel``
+package: pip falls back to the legacy ``setup.py develop`` path, which
+needs neither.
+"""
+
+from setuptools import setup
+
+setup()

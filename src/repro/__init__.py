@@ -1,0 +1,85 @@
+"""TLR ExaGeoStat reproduction: parallel approximate MLE for geostatistics.
+
+Reproduction of *Parallel Approximation of the Maximum Likelihood
+Estimation for the Prediction of Large-Scale Geostatistics Simulations*
+(Abdulah et al., IEEE CLUSTER 2018). The package provides:
+
+* :mod:`repro.kernels` — Matérn covariance family, Euclidean/great-circle
+  metrics;
+* :mod:`repro.data` — synthetic generators, Morton ordering, GP sampling,
+  substitutes for the paper's soil-moisture and wind-speed datasets;
+* :mod:`repro.runtime` — StarPU-style task runtime (handles, access
+  modes, dependency inference, thread-pool execution);
+* :mod:`repro.linalg` — dense block / dense tile / TLR linear algebra
+  (compression, TLR Cholesky, solves);
+* :mod:`repro.optim` — bound-constrained Nelder-Mead (NLopt substitute);
+* :mod:`repro.mle` — likelihood evaluators, the MLE driver, kriging
+  prediction, Monte-Carlo harness;
+* :mod:`repro.perfmodel` — machine/cluster models and the performance
+  estimator standing in for the paper's Intel servers and Shaheen-2;
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+
+Quickstart
+----------
+>>> from repro import MLEstimator, MaternCovariance
+>>> from repro.data import generate_irregular_grid, sample_gaussian_field
+>>> locs = generate_irregular_grid(400, seed=0)
+>>> z = sample_gaussian_field(locs, MaternCovariance(1.0, 0.1, 0.5), seed=1)
+>>> fit = MLEstimator(locs, z, variant="tlr", acc=1e-9).fit()
+"""
+
+from .version import __version__
+from .config import Config, get_config, set_config, use_config
+from .kernels import (
+    CovarianceModel,
+    ExponentialCovariance,
+    GaussianCovariance,
+    MaternCovariance,
+    WhittleCovariance,
+)
+from .runtime import AccessMode, Runtime
+from .linalg import (
+    LowRank,
+    TileMatrix,
+    TLRMatrix,
+    tile_cholesky,
+    tlr_cholesky,
+)
+from .mle import (
+    FitResult,
+    LikelihoodEvaluator,
+    MLEstimator,
+    exact_loglikelihood,
+    mean_squared_error,
+    predict,
+    run_monte_carlo,
+)
+from .optim import nelder_mead
+
+__all__ = [
+    "__version__",
+    "Config",
+    "get_config",
+    "set_config",
+    "use_config",
+    "CovarianceModel",
+    "MaternCovariance",
+    "ExponentialCovariance",
+    "WhittleCovariance",
+    "GaussianCovariance",
+    "AccessMode",
+    "Runtime",
+    "LowRank",
+    "TileMatrix",
+    "TLRMatrix",
+    "tile_cholesky",
+    "tlr_cholesky",
+    "MLEstimator",
+    "FitResult",
+    "LikelihoodEvaluator",
+    "exact_loglikelihood",
+    "predict",
+    "mean_squared_error",
+    "run_monte_carlo",
+    "nelder_mead",
+]

@@ -1,0 +1,166 @@
+"""Global configuration for the :mod:`repro` library.
+
+The paper's software stack exposes a handful of knobs that matter for both
+performance and accuracy: the tile size ``nb``, the TLR accuracy threshold,
+the compression method, and the number of worker threads used by the
+runtime. This module centralizes their defaults and offers a context
+manager for scoped overrides, so experiments can run hermetically.
+
+Examples
+--------
+>>> from repro.config import get_config, use_config
+>>> get_config().tile_size
+250
+>>> with use_config(tile_size=100, tlr_accuracy=1e-7):
+...     get_config().tile_size
+100
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+import threading
+from typing import Iterator
+
+from .exceptions import ConfigurationError
+
+__all__ = ["Config", "get_config", "set_config", "use_config", "reset_config"]
+
+
+_VALID_COMPRESSION = ("svd", "rsvd", "aca")
+_VALID_TRUNCATION = ("relative", "absolute")
+_VALID_ENGINE = ("threads", "serial")
+
+
+@dataclasses.dataclass
+class Config:
+    """Library-wide default parameters.
+
+    Attributes
+    ----------
+    tile_size:
+        Default tile size ``nb`` for tile and TLR algorithms. The paper
+        tunes ``nb = 560`` for dense tiles and ``nb = 1900`` for TLR on
+        Shaheen-2; at Python scale a smaller default keeps per-tile Python
+        overhead amortized while leaving several tiles per matrix.
+    tlr_accuracy:
+        Default TLR accuracy threshold ``eps`` (the paper sweeps 1e-5,
+        1e-7, 1e-9, 1e-12).
+    compression_method:
+        Per-tile compressor: ``"svd"`` (deterministic, reference),
+        ``"rsvd"`` (adaptive randomized), or ``"aca"`` (adaptive cross
+        approximation).
+    truncation:
+        ``"relative"`` keeps singular values above ``eps * sigma_1``;
+        ``"absolute"`` keeps singular values above ``eps``.
+    num_workers:
+        Worker threads for the task runtime. ``0`` means "auto"
+        (``os.cpu_count()``).
+    runtime_engine:
+        ``"threads"`` for the asynchronous pool, ``"serial"`` for
+        deterministic in-order execution (debugging, tests).
+    cholesky_jitter:
+        Diagonal regularization added by samplers (not by the MLE path)
+        to keep synthetic covariance factorizations stable.
+    rng_seed:
+        Default seed used when an API that needs randomness is called
+        without an explicit generator.
+    """
+
+    tile_size: int = 250
+    tlr_accuracy: float = 1e-9
+    compression_method: str = "svd"
+    truncation: str = "relative"
+    num_workers: int = 0
+    runtime_engine: str = "threads"
+    cholesky_jitter: float = 1e-10
+    rng_seed: int = 2018
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` if any field is invalid."""
+        if self.tile_size < 2:
+            raise ConfigurationError(f"tile_size must be >= 2, got {self.tile_size}")
+        if not (0.0 < self.tlr_accuracy < 1.0):
+            raise ConfigurationError(
+                f"tlr_accuracy must be in (0, 1), got {self.tlr_accuracy}"
+            )
+        if self.compression_method not in _VALID_COMPRESSION:
+            raise ConfigurationError(
+                f"compression_method must be one of {_VALID_COMPRESSION}, "
+                f"got {self.compression_method!r}"
+            )
+        if self.truncation not in _VALID_TRUNCATION:
+            raise ConfigurationError(
+                f"truncation must be one of {_VALID_TRUNCATION}, got {self.truncation!r}"
+            )
+        if self.num_workers < 0:
+            raise ConfigurationError(
+                f"num_workers must be >= 0 (0 = auto), got {self.num_workers}"
+            )
+        if self.runtime_engine not in _VALID_ENGINE:
+            raise ConfigurationError(
+                f"runtime_engine must be one of {_VALID_ENGINE}, got {self.runtime_engine!r}"
+            )
+        if self.cholesky_jitter < 0:
+            raise ConfigurationError("cholesky_jitter must be >= 0")
+
+    def resolved_workers(self) -> int:
+        """Number of worker threads after resolving the ``0 = auto`` rule."""
+        if self.num_workers > 0:
+            return self.num_workers
+        env = os.environ.get("REPRO_NUM_WORKERS")
+        if env:
+            return max(1, int(env))
+        return max(1, os.cpu_count() or 1)
+
+    def replace(self, **overrides: object) -> "Config":
+        """Return a copy with ``overrides`` applied (validated)."""
+        return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
+
+
+_state = threading.local()
+
+
+def _default() -> Config:
+    return Config()
+
+
+def get_config() -> Config:
+    """Return the active configuration for the current thread."""
+    cfg = getattr(_state, "config", None)
+    if cfg is None:
+        cfg = _default()
+        _state.config = cfg
+    return cfg
+
+
+def set_config(config: Config) -> None:
+    """Install ``config`` as the active configuration for this thread."""
+    config.validate()
+    _state.config = config
+
+
+def reset_config() -> None:
+    """Restore the built-in defaults for this thread."""
+    _state.config = _default()
+
+
+@contextlib.contextmanager
+def use_config(**overrides: object) -> Iterator[Config]:
+    """Scoped configuration override.
+
+    Parameters are any :class:`Config` field names; the previous
+    configuration is restored on exit even if the body raises.
+    """
+    previous = get_config()
+    updated = previous.replace(**overrides)
+    set_config(updated)
+    try:
+        yield updated
+    finally:
+        set_config(previous)

@@ -1,0 +1,48 @@
+"""Datasets and location generators (paper §VII).
+
+Provides the paper's synthetic irregular-grid generator, Morton
+(space-filling-curve) ordering of locations — which ExaGeoStat applies so
+that tile-index distance tracks spatial distance, the property TLR
+compression exploits — an exact Gaussian-random-field sampler, and
+synthetic substitutes for the two real datasets (Mississippi-basin soil
+moisture and Middle-East wind speed).
+"""
+
+from .synthetic import generate_irregular_grid, generate_uniform_locations
+from .morton import morton_keys, morton_order, sort_locations
+from .fields import sample_gaussian_field
+from .regions import Region, partition_bbox, points_in_region
+from .datasets import GeoDataset, train_test_split
+from .trend import PolynomialTrend, detrend
+from .soil_moisture import (
+    SOIL_MOISTURE_REGION_THETA,
+    SoilMoistureGenerator,
+    make_soil_moisture_dataset,
+)
+from .wind_speed import (
+    WIND_SPEED_REGION_THETA,
+    WindSpeedGenerator,
+    make_wind_speed_dataset,
+)
+
+__all__ = [
+    "generate_irregular_grid",
+    "generate_uniform_locations",
+    "morton_keys",
+    "morton_order",
+    "sort_locations",
+    "sample_gaussian_field",
+    "Region",
+    "partition_bbox",
+    "points_in_region",
+    "GeoDataset",
+    "train_test_split",
+    "PolynomialTrend",
+    "detrend",
+    "SoilMoistureGenerator",
+    "make_soil_moisture_dataset",
+    "SOIL_MOISTURE_REGION_THETA",
+    "WindSpeedGenerator",
+    "make_wind_speed_dataset",
+    "WIND_SPEED_REGION_THETA",
+]

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so downstream users can catch library failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid global or per-call configuration value was supplied."""
+
+
+class ShapeError(ReproError):
+    """An array argument has an incompatible shape."""
+
+
+class NotPositiveDefiniteError(ReproError):
+    """A covariance matrix (or one of its tiles) failed Cholesky.
+
+    This typically signals a too-aggressive TLR accuracy threshold or a
+    degenerate parameter vector explored by the optimizer; MLE drivers catch
+    it and assign a penalty likelihood rather than aborting the search.
+    """
+
+
+class CompressionError(ReproError):
+    """Low-rank compression could not meet the requested accuracy."""
+
+
+class RuntimeEngineError(ReproError):
+    """The task runtime was used incorrectly (e.g. after shutdown)."""
+
+
+class SimulationError(ReproError):
+    """The distributed performance simulator hit an inconsistent state."""
+
+
+class OutOfMemoryModelError(SimulationError):
+    """A modeled execution exceeds per-node memory (paper: missing points).
+
+    Raised (or recorded, depending on API) when the performance model
+    predicts that a configuration does not fit in the modeled node memory,
+    mirroring the out-of-memory gaps in Figure 4 of the paper.
+    """
+
+
+class OptimizationError(ReproError):
+    """The derivative-free optimizer failed to make progress."""

@@ -1,0 +1,32 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module exposes ``run_*`` functions returning
+:class:`~repro.experiments.common.ResultTable` objects; the benchmark
+suite under ``benchmarks/`` wires them to pytest-benchmark and writes the
+rendered tables under ``results/`` (override with ``REPRO_RESULTS_DIR``).
+
+Scaling: measured experiments default to laptop-scale sizes; the
+``REPRO_BENCH_SCALE=full`` environment variable raises them toward the
+paper's (hours of compute). Paper-scale series always come from the
+calibrated performance model (see DESIGN.md §4).
+"""
+
+from .common import ResultTable, results_dir, bench_scale
+from . import fig1, fig2, fig3, fig4, fig5, fig6, fig7, table1, table2, speedup, ablation
+
+__all__ = [
+    "ResultTable",
+    "results_dir",
+    "bench_scale",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table1",
+    "table2",
+    "speedup",
+    "ablation",
+]

@@ -1,0 +1,123 @@
+"""Shared infrastructure for experiment drivers: tables, scaling, output.
+
+The paper's figures are line plots and boxplots; a text reproduction
+renders each as an aligned table whose columns are the plot's series.
+``ResultTable.render()`` produces that text and ``save()`` writes both a
+``.txt`` and a machine-readable ``.csv`` under the results directory.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+__all__ = ["ResultTable", "results_dir", "bench_scale", "fmt"]
+
+
+def results_dir() -> Path:
+    """Directory for rendered experiment outputs (created on demand).
+
+    Defaults to ``<cwd>/results``; override with ``REPRO_RESULTS_DIR``.
+    """
+    path = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def bench_scale() -> str:
+    """Benchmark scale: ``"quick"`` (default) or ``"full"``.
+
+    Controlled by ``REPRO_BENCH_SCALE``; experiment drivers pick problem
+    sizes/replicates accordingly.
+    """
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    return "full" if scale == "full" else "quick"
+
+
+def fmt(value: object, *, digits: int = 3) -> str:
+    """Uniform cell formatting: floats to ``digits`` significant places,
+    ``None`` as the paper's missing-point marker ``OOM/-``."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 10 ** (digits + 2) or abs(value) < 10 ** (-digits):
+            return f"{value:.{digits}e}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment results.
+
+    Attributes
+    ----------
+    title:
+        Heading rendered above the table (e.g. ``"Figure 3(a) ..."``).
+    headers:
+        Column names.
+    rows:
+        Row cell lists; cells may be numbers, strings or ``None``
+        (rendered as ``-``, the paper's missing/OOM marker).
+    notes:
+        Free-form footnotes rendered below the table.
+    """
+
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (must match the header count)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote line."""
+        self.notes.append(note)
+
+    def render(self, *, digits: int = 3) -> str:
+        """Aligned, human-readable text rendering."""
+        cells = [[fmt(c, digits=digits) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, c in enumerate(row):
+                widths[i] = max(widths[i], len(c))
+        sep = "  "
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(sep.join(h.ljust(widths[i]) for i, h in enumerate(self.headers)))
+        lines.append(sep.join("-" * w for w in widths))
+        for row in cells:
+            lines.append(sep.join(c.rjust(widths[i]) for i, c in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines) + "\n"
+
+    def save(self, name: str, *, directory: Optional[Path] = None) -> Path:
+        """Write ``<name>.txt`` and ``<name>.csv``; returns the .txt path."""
+        directory = directory or results_dir()
+        txt_path = directory / f"{name}.txt"
+        txt_path.write_text(self.render())
+        with open(directory / f"{name}.csv", "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.headers)
+            for row in self.rows:
+                writer.writerow(["" if c is None else c for c in row])
+        return txt_path
+
+
+def save_tables(tables: Sequence[ResultTable], name: str) -> Path:
+    """Concatenate several tables into one ``.txt`` report file."""
+    directory = results_dir()
+    path = directory / f"{name}.txt"
+    path.write_text("\n".join(t.render() for t in tables))
+    return path

@@ -1,0 +1,76 @@
+"""Figure 1 — TLR representation of a covariance matrix.
+
+The paper's Figure 1 illustrates the TLR format: dense diagonal tiles,
+off-diagonal tiles stored as rank-k factors with tile-dependent ranks.
+The text reproduction reports, per accuracy threshold, the tile-rank
+distribution and the memory footprint against dense storage — the
+quantitative content of the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data.morton import sort_locations
+from ..data.synthetic import generate_irregular_grid
+from ..kernels.covariance import MaternCovariance
+from ..linalg.tlr_matrix import TLRMatrix
+from .common import ResultTable
+
+__all__ = ["run_fig1"]
+
+
+def run_fig1(
+    *,
+    n: int = 1600,
+    nb: int = 200,
+    accuracies: Sequence[float] = (1e-5, 1e-7, 1e-9, 1e-12),
+    theta: Sequence[float] = (1.0, 0.1, 0.5),
+    seed: int = 0,
+) -> ResultTable:
+    """Compress one Matérn covariance at several accuracies; tabulate ranks.
+
+    Returns a table with per-accuracy max/mean rank, compression ratio,
+    and memory footprints.
+    """
+    locs = generate_irregular_grid(n, seed=seed)
+    locs, _, _ = sort_locations(locs)
+    model = MaternCovariance(*theta)
+    table = ResultTable(
+        title=f"Figure 1 — TLR representation, Matérn theta={tuple(theta)}, n={n}, nb={nb}",
+        headers=[
+            "accuracy",
+            "max rank",
+            "mean rank",
+            "rank@d=1",
+            f"rank@d={max(1, n // nb - 1)}",
+            "TLR MB",
+            "dense MB",
+            "ratio",
+        ],
+    )
+    for acc in accuracies:
+        tlr = TLRMatrix.from_generator(
+            n, nb, lambda rs, cs: model.tile(locs, rs, cs), acc=acc
+        )
+        rm = tlr.rank_matrix()
+        nt = tlr.nt
+        near = int(np.mean([rm[i, i - 1] for i in range(1, nt)]))
+        far = int(rm[nt - 1, 0])
+        table.add_row(
+            f"{acc:.0e}",
+            tlr.max_rank(),
+            round(tlr.mean_rank(), 1),
+            near,
+            far,
+            round(tlr.nbytes / 1e6, 3),
+            round(tlr.dense_nbytes() / 1e6, 3),
+            round(tlr.compression_ratio(), 2),
+        )
+    table.add_note(
+        "ranks fall with tile separation and rise with accuracy - the variable-rank "
+        "structure sketched in the paper's Figure 1"
+    )
+    return table

@@ -1,0 +1,53 @@
+"""Figure 2 — the 400-point irregular-grid example.
+
+The paper displays 400 irregularly spaced locations on the unit square,
+362 used for estimation and 38 for prediction validation. The text
+reproduction verifies the construction's properties: point count, bounds,
+nearest-neighbour separation (the "no two locations too close"
+guarantee), and the train/test split sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.datasets import GeoDataset, train_test_split
+from ..data.fields import sample_gaussian_field
+from ..data.synthetic import generate_irregular_grid
+from ..kernels.covariance import MaternCovariance
+from ..kernels.distance import euclidean_distance_matrix
+from .common import ResultTable
+
+__all__ = ["run_fig2"]
+
+
+def run_fig2(*, n: int = 400, n_test: int = 38, seed: int = 0) -> ResultTable:
+    """Generate the Figure 2 example and tabulate its properties."""
+    locs = generate_irregular_grid(n, seed=seed)
+    model = MaternCovariance(1.0, 0.1, 0.5)
+    z = sample_gaussian_field(locs, model, seed=seed + 1)
+    ds = GeoDataset(locs, z, name="fig2")
+    train, test = train_test_split(ds, n_test, seed=seed + 2)
+
+    d = euclidean_distance_matrix(locs)
+    np.fill_diagonal(d, np.inf)
+    nn = d.min(axis=1)
+    side = int(round(np.sqrt(n)))
+
+    table = ResultTable(
+        title="Figure 2 — irregular grid example (400 points, 362 fit + 38 predict)",
+        headers=["property", "value"],
+    )
+    table.add_row("points generated", n)
+    table.add_row("fit points", train.n)
+    table.add_row("prediction points", test.n)
+    table.add_row("x range", f"[{locs[:, 0].min():.4f}, {locs[:, 0].max():.4f}]")
+    table.add_row("y range", f"[{locs[:, 1].min():.4f}, {locs[:, 1].max():.4f}]")
+    table.add_row("min nearest-neighbour distance", float(nn.min()))
+    table.add_row("mean nearest-neighbour distance", float(nn.mean()))
+    table.add_row("regular-grid spacing 1/sqrt(n)", 1.0 / side)
+    table.add_note(
+        "jitter is 0.4 of a cell, so the minimum separation stays bounded away from 0 "
+        "(uniform sampling would not guarantee this)"
+    )
+    return table

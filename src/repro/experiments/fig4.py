@@ -1,0 +1,70 @@
+"""Figure 4 — one MLE iteration on Shaheen-2 (256 and 1024 nodes).
+
+Modeled with the distributed performance estimator: 2-D block-cyclic
+distribution, panel multicasts overlapped with computation, per-node
+memory accounting. Missing points in the paper are out-of-memory
+configurations — the model reports them as ``-`` via the same rule.
+The small-``nt`` regime of the same model is cross-validated against the
+discrete-event simulator in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..perfmodel.analytic import estimate_mle_iteration
+from ..perfmodel.cluster import shaheen2
+from ..perfmodel.rankmodel import DEFAULT_RANK_MODEL, RankModel
+from .common import ResultTable
+
+__all__ = ["PAPER_N_256", "PAPER_N_1024", "model_series"]
+
+#: Figure 4(a): x-axis (locations) for 256 nodes.
+PAPER_N_256 = (100_000, 200_000, 250_000, 500_000, 750_000, 1_000_000)
+
+#: Figure 4(b): x-axis for 1024 nodes.
+PAPER_N_1024 = (250_000, 500_000, 750_000, 1_000_000, 2_000_000)
+
+#: Accuracies plotted in Figure 4 (no 1e-12 series at scale).
+PAPER_ACCURACIES = (1e-9, 1e-7, 1e-5)
+
+
+def model_series(
+    n_nodes: int,
+    *,
+    n_values: Sequence[int] | None = None,
+    accuracies: Sequence[float] = PAPER_ACCURACIES,
+    nb_dense: int = 560,
+    nb_tlr: int = 1900,
+    rank_model: RankModel = DEFAULT_RANK_MODEL,
+) -> ResultTable:
+    """Modeled Fig. 4 panel for a Shaheen-2 allocation of ``n_nodes``."""
+    if n_values is None:
+        n_values = PAPER_N_256 if n_nodes <= 512 else PAPER_N_1024
+    cluster = shaheen2(n_nodes)
+    headers = ["n", "Full-tile"] + [f"TLR-acc({a:.0e})" for a in accuracies]
+    table = ResultTable(
+        title=(
+            f"Figure 4 — modeled time of one MLE iteration on Shaheen-2, "
+            f"{n_nodes} nodes [s]"
+        ),
+        headers=headers,
+    )
+    for n in n_values:
+        row: list[object] = [n]
+        est = estimate_mle_iteration(
+            n, variant="full-tile", nb=nb_dense, machine=None, cluster=cluster,
+            rank_model=rank_model,
+        )
+        row.append(None if est.oom else est.time_s)
+        for acc in accuracies:
+            est = estimate_mle_iteration(
+                n, variant="tlr", nb=nb_tlr, acc=acc, cluster=cluster, rank_model=rank_model
+            )
+            row.append(None if est.oom else est.time_s)
+        table.add_row(*row)
+    table.add_note(
+        f"nb={nb_dense} dense / {nb_tlr} TLR (the paper's tuned values); "
+        "'-' marks modeled out-of-memory, the paper's missing points"
+    )
+    return table

@@ -1,0 +1,121 @@
+"""Figures 6 and 7 — Monte-Carlo estimation accuracy and prediction MSE.
+
+One Monte-Carlo run (per true theta vector) feeds both figures: the
+boxplots of estimated parameters (Fig. 6, one row per technique and
+parameter) and the boxplots of prediction MSE over 100 held-out points
+(Fig. 7). The module exposes a single driver producing both tables so
+benches never duplicate the expensive fits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..mle.montecarlo import (
+    DEFAULT_TECHNIQUES,
+    MonteCarloResult,
+    run_monte_carlo,
+    summarize_boxplot,
+)
+from .common import ResultTable, bench_scale
+
+__all__ = ["PAPER_THETAS", "run_fig6_fig7", "estimation_table", "mse_table"]
+
+#: The three true parameter vectors of Figures 6-7: weak / medium / strong
+#: correlation at smoothness 0.5.
+PAPER_THETAS: Tuple[Tuple[float, float, float], ...] = (
+    (1.0, 0.03, 0.5),
+    (1.0, 0.1, 0.5),
+    (1.0, 0.3, 0.5),
+)
+
+PARAM_NAMES = ("variance (theta1)", "range (theta2)", "smoothness (theta3)")
+
+
+def _default_sizes() -> tuple[int, int, int]:
+    """(n, replicates, maxiter) for the current bench scale."""
+    if bench_scale() == "full":
+        return 1600, 25, 150
+    return 324, 5, 50
+
+
+def estimation_table(result: MonteCarloResult, theta_label: str) -> ResultTable:
+    """Fig. 6 panel row-set: per-technique boxplot stats of each parameter."""
+    table = ResultTable(
+        title=f"Figure 6 — parameter estimation boxplots, initial theta = {theta_label}",
+        headers=["technique", "parameter", "true", "min", "q1", "median", "q3", "max", "mean"],
+    )
+    for technique, est in result.estimates.items():
+        for p, pname in enumerate(PARAM_NAMES):
+            stats = summarize_boxplot(est[:, p])
+            table.add_row(
+                technique,
+                pname,
+                float(result.theta_true[p]),
+                stats["min"],
+                stats["q1"],
+                stats["median"],
+                stats["q3"],
+                stats["max"],
+                stats["mean"],
+            )
+    return table
+
+
+def mse_table(result: MonteCarloResult, theta_label: str) -> ResultTable:
+    """Fig. 7 panel: per-technique boxplot stats of the prediction MSE."""
+    table = ResultTable(
+        title=f"Figure 7 — prediction MSE boxplots, initial theta = {theta_label}",
+        headers=["technique", "min", "q1", "median", "q3", "max", "mean"],
+    )
+    for technique, mses in result.mse.items():
+        stats = summarize_boxplot(mses)
+        table.add_row(
+            technique,
+            stats["min"],
+            stats["q1"],
+            stats["median"],
+            stats["q3"],
+            stats["max"],
+            stats["mean"],
+        )
+    return table
+
+
+def run_fig6_fig7(
+    *,
+    thetas: Sequence[Tuple[float, float, float]] = PAPER_THETAS,
+    n: Optional[int] = None,
+    n_replicates: Optional[int] = None,
+    maxiter: Optional[int] = None,
+    techniques=DEFAULT_TECHNIQUES,
+    tile_size: Optional[int] = None,
+    seed: int = 2018,
+) -> Dict[str, Tuple[ResultTable, ResultTable, MonteCarloResult]]:
+    """Run the full Monte-Carlo study; returns per-theta (fig6, fig7, raw).
+
+    Sizes default to the current bench scale (paper: n=40,000 with 100
+    replicates on a Cray — set ``REPRO_BENCH_SCALE=full`` for the larger
+    local study).
+    """
+    dn, dr, dm = _default_sizes()
+    n = dn if n is None else n
+    n_replicates = dr if n_replicates is None else n_replicates
+    maxiter = dm if maxiter is None else maxiter
+    out: Dict[str, Tuple[ResultTable, ResultTable, MonteCarloResult]] = {}
+    for theta in thetas:
+        label = f"({theta[0]:g}, {theta[1]:g}, {theta[2]:g})"
+        result = run_monte_carlo(
+            theta,
+            n=n,
+            n_replicates=n_replicates,
+            techniques=techniques,
+            tile_size=tile_size,
+            maxiter=maxiter,
+            seed=seed,
+        )
+        t6 = estimation_table(result, label)
+        t7 = mse_table(result, label)
+        t6.add_note(f"n={n}, replicates={n_replicates}, maxiter={maxiter} (paper: 40K x 100)")
+        out[label] = (t6, t7, result)
+    return out

@@ -1,0 +1,12 @@
+"""Figure 7 — prediction MSE boxplots (thin wrapper).
+
+The Monte-Carlo computation lives in :mod:`repro.experiments.fig6`
+(Figures 6 and 7 share one run); this module re-exports the MSE table
+builder for symmetry with the benchmark layout.
+"""
+
+from __future__ import annotations
+
+from .fig6 import PAPER_THETAS, mse_table, run_fig6_fig7
+
+__all__ = ["PAPER_THETAS", "mse_table", "run_fig6_fig7"]

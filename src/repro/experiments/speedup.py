@@ -1,0 +1,70 @@
+"""Speedup summaries (paper §VIII-B/C headline numbers).
+
+The paper reports maximum TLR-over-full speedups of roughly 7X
+(Haswell), 10X (Broadwell), 13X (KNL) and 5X (Skylake) at accuracy 1e-5
+on shared memory, and up to 5X on Shaheen-2. This module derives the
+same summary from the modeled Figure 3/4 series, so the claim can be
+checked against the reproduction quantitatively.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .common import ResultTable
+from .fig3 import PAPER_MACHINES, model_series as fig3_series
+from .fig4 import model_series as fig4_series
+
+__all__ = ["shared_memory_speedups", "distributed_speedups", "PAPER_CLAIMED_SPEEDUPS"]
+
+#: §VIII-B: max speedup at accuracy 1e-5, per machine.
+PAPER_CLAIMED_SPEEDUPS = {"haswell": 7.0, "broadwell": 10.0, "knl": 13.0, "skylake": 5.0}
+
+
+def _max_ratio(table: ResultTable, base_col: str, tlr_col: str) -> float:
+    """Largest base/tlr time ratio across rows (ignoring missing cells)."""
+    bi = table.headers.index(base_col)
+    ti = table.headers.index(tlr_col)
+    best = 0.0
+    for row in table.rows:
+        base, tlr = row[bi], row[ti]
+        if isinstance(base, (int, float)) and isinstance(tlr, (int, float)) and tlr > 0:
+            best = max(best, float(base) / float(tlr))
+    return best
+
+
+def shared_memory_speedups(
+    *, machines: Sequence[str] = PAPER_MACHINES, acc: float = 1e-5
+) -> ResultTable:
+    """Max modeled TLR speedup vs Full-tile and Full-block per machine."""
+    table = ResultTable(
+        title=f"Speedup summary — shared memory, TLR-acc({acc:.0e})",
+        headers=["machine", "vs Full-tile", "vs Full-block", "paper claim (vs full)"],
+    )
+    col = f"TLR-acc({acc:.0e})"
+    for name in machines:
+        series = fig3_series(name)
+        table.add_row(
+            name,
+            round(_max_ratio(series, "Full-tile", col), 2),
+            round(_max_ratio(series, "Full-block", col), 2),
+            PAPER_CLAIMED_SPEEDUPS.get(name),
+        )
+    table.add_note("paper §VIII-B: 7X/10X/13X/5X maximum speedups at accuracy 1e-5")
+    return table
+
+
+def distributed_speedups(*, n_nodes: int = 256, acc: float = 1e-5) -> ResultTable:
+    """Max modeled TLR speedup vs Full-tile on Shaheen-2 allocations."""
+    series = fig4_series(n_nodes)
+    col = f"TLR-acc({acc:.0e})"
+    table = ResultTable(
+        title=f"Speedup summary — Shaheen-2 {n_nodes} nodes",
+        headers=["accuracy", "max speedup vs Full-tile"],
+    )
+    for acc_i in (1e-5, 1e-7, 1e-9):
+        col = f"TLR-acc({acc_i:.0e})"
+        if col in series.headers:
+            table.add_row(f"{acc_i:.0e}", round(_max_ratio(series, "Full-tile", col), 2))
+    table.add_note("paper §VIII-C: up to 5X on distributed memory")
+    return table

@@ -1,0 +1,79 @@
+"""Table II — Matérn estimates for the 4 wind-speed regions.
+
+Same protocol as Table I (see :mod:`repro.experiments.table1`) over the
+WRF-domain substitute: smoother fields (θ3 ≈ 1.2-1.4), larger variances,
+stronger correlation — the regime where the paper found TLR needs its
+higher accuracy thresholds (only up to 1e-9 is still profitable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.wind_speed import WIND_SPEED_REGION_THETA, WindSpeedGenerator
+from ..mle.estimator import MLEstimator
+from ..optim.bounds import default_matern_bounds
+from .common import ResultTable, bench_scale
+
+__all__ = ["run_table2", "PAPER_TABLE2_FULLTILE"]
+
+#: The paper's Table II full-tile reference values (ground truth here).
+PAPER_TABLE2_FULLTILE = WIND_SPEED_REGION_THETA
+
+PARAM_NAMES = ("variance", "range", "smoothness")
+
+
+def run_table2(
+    *,
+    regions: Optional[Sequence[str]] = None,
+    accuracies: Sequence[float] = (1e-5, 1e-7, 1e-9),
+    n: Optional[int] = None,
+    tile_size: Optional[int] = None,
+    maxiter: Optional[int] = None,
+    seed: int = 22,
+) -> Dict[str, ResultTable]:
+    """Reproduce Table II: one table per Matérn parameter."""
+    quick = bench_scale() == "quick"
+    if regions is None:
+        regions = ("R1", "R3") if quick else tuple(WIND_SPEED_REGION_THETA)
+    n = (300 if quick else 800) if n is None else n
+    tile_size = (75 if quick else 150) if tile_size is None else tile_size
+    maxiter = (50 if quick else 120) if maxiter is None else maxiter
+
+    gen = WindSpeedGenerator(points_per_region=n)
+    techniques: list[Tuple[str, Optional[float]]] = [("tlr", a) for a in accuracies]
+    techniques.append(("full-tile", None))
+    tech_names = [f"TLR {a:.0e}" for a in accuracies] + ["Full-tile"]
+
+    estimates: Dict[str, Dict[str, np.ndarray]] = {}
+    for idx, region in enumerate(regions):
+        ds = gen.region_dataset(region, seed=seed + idx)
+        estimates[region] = {}
+        for (variant, acc), tname in zip(techniques, tech_names):
+            est = MLEstimator.from_dataset(ds, variant=variant, acc=acc, tile_size=tile_size)
+            bounds = default_matern_bounds(ds.values, max_range=60.0)
+            # Start from the generating parameters (see table1 rationale).
+            x0 = np.asarray(ds.meta["theta_true"], dtype=float)
+            fit = est.fit(maxiter=maxiter, bounds=bounds, x0=x0)
+            estimates[region][tname] = fit.theta
+
+    tables: Dict[str, ResultTable] = {}
+    for p, pname in enumerate(PARAM_NAMES):
+        table = ResultTable(
+            title=f"Table II — wind speed, estimated Matérn {pname} per region",
+            headers=["region", "truth (paper full-tile)"] + tech_names,
+        )
+        for region in regions:
+            truth = WIND_SPEED_REGION_THETA[region][p]
+            row: list[object] = [region, truth]
+            for tname in tech_names:
+                row.append(float(estimates[region][tname][p]))
+            table.add_row(*row)
+        table.add_note(
+            f"synthetic substitute fields (n={n}/region) from the paper's full-tile "
+            "estimates; see DESIGN.md §4"
+        )
+        tables[pname] = table
+    return tables

@@ -1,0 +1,46 @@
+"""Covariance kernels and distance metrics (paper §IV).
+
+This subpackage implements the Matérn covariance family — the de facto
+model in geostatistics used throughout the paper — together with its
+special cases (exponential, Whittle, Gaussian, powered exponential) and
+the two distance metrics the paper uses: Euclidean for synthetic data and
+Great-Circle Distance (haversine) for real datasets on the sphere.
+"""
+
+from .distance import (
+    euclidean_distance_matrix,
+    great_circle_distance_matrix,
+    haversine,
+    pairwise_distance,
+)
+from .matern import (
+    exponential_correlation,
+    gaussian_correlation,
+    matern_correlation,
+    whittle_correlation,
+)
+from .covariance import (
+    CovarianceModel,
+    ExponentialCovariance,
+    GaussianCovariance,
+    MaternCovariance,
+    PoweredExponentialCovariance,
+    WhittleCovariance,
+)
+
+__all__ = [
+    "euclidean_distance_matrix",
+    "great_circle_distance_matrix",
+    "haversine",
+    "pairwise_distance",
+    "matern_correlation",
+    "exponential_correlation",
+    "whittle_correlation",
+    "gaussian_correlation",
+    "CovarianceModel",
+    "MaternCovariance",
+    "ExponentialCovariance",
+    "WhittleCovariance",
+    "GaussianCovariance",
+    "PoweredExponentialCovariance",
+]

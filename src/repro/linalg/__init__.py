@@ -1,0 +1,48 @@
+"""Linear algebra substrates (paper §V).
+
+Three families, mirroring the paper's three computation variants:
+
+* ``blocklapack`` — the **Full-block** reference (LAPACK-style dense
+  Cholesky via scipy; the paper's Intel MKL baseline);
+* ``tile_*`` — the **Full-tile** dense tile algorithms (Chameleon
+  substitute): tile matrices, task-based tile Cholesky, tile solves;
+* ``compression`` + ``tlr_*`` — the **TLR** data format and algorithms
+  (HiCMA substitute): per-tile low-rank compression (SVD / RSVD / ACA),
+  TLR Cholesky with recompression, TLR solves and matvec.
+"""
+
+from .blocklapack import (
+    block_cholesky,
+    block_cholesky_solve,
+    block_logdet_from_factor,
+)
+from .tile_matrix import TileGrid, TileMatrix
+from .tile_cholesky import tile_cholesky, logdet_from_tile_factor
+from .tile_solve import tile_cholesky_solve, tile_solve_triangular
+from .compression import LowRank, compress, recompress, lr_add
+from .tlr_matrix import TLRMatrix
+from .tlr_cholesky import tlr_cholesky, logdet_from_tlr_factor
+from .tlr_solve import tlr_cholesky_solve, tlr_solve_triangular
+from .tlr_matvec import tlr_symmetric_matvec
+
+__all__ = [
+    "block_cholesky",
+    "block_cholesky_solve",
+    "block_logdet_from_factor",
+    "TileGrid",
+    "TileMatrix",
+    "tile_cholesky",
+    "logdet_from_tile_factor",
+    "tile_cholesky_solve",
+    "tile_solve_triangular",
+    "LowRank",
+    "compress",
+    "recompress",
+    "lr_add",
+    "TLRMatrix",
+    "tlr_cholesky",
+    "logdet_from_tlr_factor",
+    "tlr_cholesky_solve",
+    "tlr_solve_triangular",
+    "tlr_symmetric_matvec",
+]

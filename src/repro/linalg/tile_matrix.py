@@ -1,0 +1,225 @@
+"""Tile decomposition of dense matrices (paper §V, Chameleon substitute).
+
+Tile algorithms split an ``n x n`` matrix into ``nt x nt`` square tiles of
+size ``nb`` (the last row/column of tiles may be smaller when ``nb`` does
+not divide ``n``). Fine-grained per-tile tasks weaken synchronization
+points relative to LAPACK's fork-join blocks and expose look-ahead — the
+motivation recalled in the paper's §V.
+
+:class:`TileGrid` is the index arithmetic; :class:`TileMatrix` is dense
+storage, one contiguous ndarray per tile (so each BLAS call runs on
+cache-friendly contiguous data, per the HPC guide's memory-layout
+advice). Symmetric matrices can store the lower triangle only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..utils.validation import check_square
+
+__all__ = ["TileGrid", "TileMatrix"]
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """Index arithmetic for a 1-D tiling of ``n`` rows with tile size ``nb``.
+
+    Attributes
+    ----------
+    n:
+        Matrix dimension.
+    nb:
+        Tile size (the paper tunes 560 for dense, 1900 for TLR at scale).
+    """
+
+    n: int
+    nb: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ShapeError(f"n must be >= 1, got {self.n}")
+        if self.nb < 1:
+            raise ShapeError(f"nb must be >= 1, got {self.nb}")
+
+    @property
+    def nt(self) -> int:
+        """Number of tiles per dimension."""
+        return -(-self.n // self.nb)
+
+    def tile_size(self, i: int) -> int:
+        """Rows in tile ``i`` (the last tile may be ragged)."""
+        self._check_index(i)
+        return min(self.nb, self.n - i * self.nb)
+
+    def offset(self, i: int) -> int:
+        """Global row index where tile ``i`` starts."""
+        self._check_index(i)
+        return i * self.nb
+
+    def tile_slice(self, i: int) -> slice:
+        """Global row slice covered by tile ``i``."""
+        off = self.offset(i)
+        return slice(off, off + self.tile_size(i))
+
+    def partition(self, x: np.ndarray) -> list:
+        """Split the leading axis of ``x`` into per-tile contiguous copies.
+
+        Copies (never views): block solvers update these buffers in place
+        and must not clobber the caller's array.
+        """
+        if x.shape[0] != self.n:
+            raise ShapeError(f"expected leading dimension {self.n}, got {x.shape[0]}")
+        return [np.array(x[self.tile_slice(i)], dtype=np.float64, copy=True) for i in range(self.nt)]
+
+    def unpartition(self, blocks: list) -> np.ndarray:
+        """Concatenate per-tile blocks back along the leading axis."""
+        if len(blocks) != self.nt:
+            raise ShapeError(f"expected {self.nt} blocks, got {len(blocks)}")
+        return np.concatenate(blocks, axis=0)
+
+    def _check_index(self, i: int) -> None:
+        if not (0 <= i < self.nt):
+            raise ShapeError(f"tile index {i} out of range [0, {self.nt})")
+
+
+class TileMatrix:
+    """Dense matrix stored as a grid of contiguous tiles.
+
+    Parameters
+    ----------
+    grid:
+        The tiling.
+    symmetric_lower:
+        When True only tiles with ``i >= j`` are stored; ``tile(i, j)``
+        with ``i < j`` returns the transpose of the mirrored tile
+        (a copy — callers must not mutate it).
+    """
+
+    def __init__(self, grid: TileGrid, *, symmetric_lower: bool = False) -> None:
+        self.grid = grid
+        self.symmetric_lower = symmetric_lower
+        self._tiles: Dict[Tuple[int, int], np.ndarray] = {}
+
+    # -------------------------------------------------------- constructors
+    @classmethod
+    def from_dense(
+        cls, a: np.ndarray, nb: int, *, symmetric_lower: bool = False
+    ) -> "TileMatrix":
+        """Tile an existing dense matrix (copies into per-tile buffers)."""
+        check_square(a, "a")
+        grid = TileGrid(a.shape[0], nb)
+        tm = cls(grid, symmetric_lower=symmetric_lower)
+        for i in range(grid.nt):
+            jmax = i + 1 if symmetric_lower else grid.nt
+            for j in range(jmax):
+                # copy=True: slices of `a` may alias the caller's buffer
+                # (a single-tile matrix would otherwise be factored in
+                # place over the input).
+                tile = np.array(
+                    a[grid.tile_slice(i), grid.tile_slice(j)], dtype=np.float64, copy=True
+                )
+                tm.set_tile(i, j, tile)
+        return tm
+
+    @classmethod
+    def from_generator(
+        cls,
+        n: int,
+        nb: int,
+        generate: Callable[[slice, slice], np.ndarray],
+        *,
+        symmetric_lower: bool = False,
+    ) -> "TileMatrix":
+        """Build tiles by calling ``generate(row_slice, col_slice)``.
+
+        This is the covariance *generation* stage of ExaGeoStat: the dense
+        matrix never exists as a single allocation.
+        """
+        grid = TileGrid(n, nb)
+        tm = cls(grid, symmetric_lower=symmetric_lower)
+        for i in range(grid.nt):
+            jmax = i + 1 if symmetric_lower else grid.nt
+            for j in range(jmax):
+                raw = generate(grid.tile_slice(i), grid.tile_slice(j))
+                # Own the buffer: generators may hand back views into a
+                # caller-owned dense matrix.
+                tile = np.asarray(raw, dtype=np.float64)
+                if tile.base is not None or not tile.flags["C_CONTIGUOUS"]:
+                    tile = tile.copy()
+                expected = (grid.tile_size(i), grid.tile_size(j))
+                if tile.shape != expected:
+                    raise ShapeError(
+                        f"generator returned shape {tile.shape} for tile ({i},{j}), "
+                        f"expected {expected}"
+                    )
+                tm.set_tile(i, j, tile)
+        return tm
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def n(self) -> int:
+        """Matrix dimension."""
+        return self.grid.n
+
+    @property
+    def nt(self) -> int:
+        """Tiles per dimension."""
+        return self.grid.nt
+
+    def tile(self, i: int, j: int) -> np.ndarray:
+        """Tile ``(i, j)``; mirrored transpose copy for ``i < j`` when symmetric."""
+        if self.symmetric_lower and i < j:
+            return self._tiles[(j, i)].T.copy()
+        return self._tiles[(i, j)]
+
+    def set_tile(self, i: int, j: int, tile: np.ndarray) -> None:
+        """Install a tile buffer (must match the grid's tile shape)."""
+        if self.symmetric_lower and i < j:
+            raise ShapeError("symmetric_lower matrices store only i >= j tiles")
+        expected = (self.grid.tile_size(i), self.grid.tile_size(j))
+        if tile.shape != expected:
+            raise ShapeError(f"tile ({i},{j}) must have shape {expected}, got {tile.shape}")
+        self._tiles[(i, j)] = tile
+
+    def has_tile(self, i: int, j: int) -> bool:
+        """True when tile ``(i, j)`` is physically stored."""
+        return (i, j) in self._tiles
+
+    def iter_stored(self) -> Iterator[Tuple[int, int, np.ndarray]]:
+        """Iterate physically stored tiles as ``(i, j, buffer)``."""
+        for (i, j), tile in sorted(self._tiles.items()):
+            yield i, j, tile
+
+    # ------------------------------------------------------------- exports
+    def to_dense(self) -> np.ndarray:
+        """Assemble the full dense matrix (symmetric mirror applied)."""
+        g = self.grid
+        out = np.zeros((g.n, g.n), dtype=np.float64)
+        for (i, j), tile in self._tiles.items():
+            out[g.tile_slice(i), g.tile_slice(j)] = tile
+            if self.symmetric_lower and i != j:
+                out[g.tile_slice(j), g.tile_slice(i)] = tile.T
+        return out
+
+    def copy(self) -> "TileMatrix":
+        """Deep copy (fresh tile buffers)."""
+        tm = TileMatrix(self.grid, symmetric_lower=self.symmetric_lower)
+        for (i, j), tile in self._tiles.items():
+            tm._tiles[(i, j)] = tile.copy()
+        return tm
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of stored tile payloads."""
+        return int(sum(t.nbytes for t in self._tiles.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TileMatrix(n={self.n}, nb={self.grid.nb}, nt={self.nt}, "
+            f"symmetric_lower={self.symmetric_lower})"
+        )

@@ -1,0 +1,48 @@
+"""Dense tile codelets: POTRF, TRSM, SYRK, GEMM (paper §V).
+
+These are the four kernels of the right-looking tile Cholesky, written as
+plain functions mutating their output tile in place so they can be used
+directly, or inserted as runtime tasks (the runtime passes tile payloads
+positionally). All operate on lower-triangular factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..exceptions import NotPositiveDefiniteError
+
+__all__ = ["potrf_codelet", "trsm_codelet", "syrk_codelet", "gemm_codelet"]
+
+
+def potrf_codelet(dkk: np.ndarray) -> None:
+    """In-place lower Cholesky of a diagonal tile: ``dkk <- chol(dkk)``.
+
+    The strict upper triangle is zeroed so the stored factor is exactly
+    lower-triangular (simplifies ``to_dense`` and debugging).
+    """
+    try:
+        factor = sla.cholesky(dkk, lower=True, check_finite=False)
+    except sla.LinAlgError as exc:
+        raise NotPositiveDefiniteError(f"diagonal tile not positive definite: {exc}") from exc
+    dkk[:] = np.tril(factor)
+
+
+def trsm_codelet(lkk: np.ndarray, aik: np.ndarray) -> None:
+    """Right triangular solve: ``aik <- aik @ inv(lkk).T`` in place.
+
+    Implemented as ``X^T = lkk^{-1} aik^T`` (one LAPACK ``trtrs``-style
+    call), which is the TRSM of the tile Cholesky panel update.
+    """
+    aik[:] = sla.solve_triangular(lkk, aik.T, lower=True, check_finite=False).T
+
+
+def syrk_codelet(aik: np.ndarray, dii: np.ndarray) -> None:
+    """Symmetric rank-``nb`` update: ``dii <- dii - aik @ aik.T`` in place."""
+    dii -= aik @ aik.T
+
+
+def gemm_codelet(aik: np.ndarray, ajk: np.ndarray, aij: np.ndarray) -> None:
+    """Trailing update: ``aij <- aij - aik @ ajk.T`` in place."""
+    aij -= aik @ ajk.T

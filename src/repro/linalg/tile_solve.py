@@ -1,0 +1,63 @@
+"""Triangular solves against a dense tile Cholesky factor.
+
+Forward/backward block substitution over the tile grid. The right-hand
+side is partitioned with the same :class:`TileGrid`; each step is one
+small TRSM plus GEMM updates — the structure the paper's prediction
+operation (eq. (4)) executes after factorizing ``Sigma_22``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..exceptions import ShapeError
+from .tile_matrix import TileMatrix
+
+__all__ = ["tile_solve_triangular", "tile_cholesky_solve"]
+
+
+def tile_solve_triangular(
+    factor: TileMatrix, b: np.ndarray, *, trans: bool = False
+) -> np.ndarray:
+    """Solve ``L x = b`` (or ``L^T x = b`` with ``trans=True``).
+
+    Parameters
+    ----------
+    factor:
+        Lower tile Cholesky factor (``symmetric_lower`` layout holds the
+        lower triangle; its strictly-upper mirror is *not* part of L).
+    b:
+        ``(n,)`` or ``(n, m)`` right-hand side (not modified).
+
+    Returns
+    -------
+    Solution with the same shape as ``b``.
+    """
+    g = factor.grid
+    if b.shape[0] != g.n:
+        raise ShapeError(f"rhs leading dimension {b.shape[0]} != {g.n}")
+    blocks = g.partition(np.asarray(b, dtype=np.float64))
+    nt = g.nt
+    if not trans:
+        for i in range(nt):
+            for j in range(i):
+                blocks[i] -= factor.tile(i, j) @ blocks[j]
+            blocks[i] = sla.solve_triangular(
+                factor.tile(i, i), blocks[i], lower=True, check_finite=False
+            )
+    else:
+        for i in range(nt - 1, -1, -1):
+            for j in range(i + 1, nt):
+                # L^T's (i, j) block is L(j, i)^T.
+                blocks[i] -= factor.tile(j, i).T @ blocks[j]
+            blocks[i] = sla.solve_triangular(
+                factor.tile(i, i), blocks[i], lower=True, trans="T", check_finite=False
+            )
+    return g.unpartition(blocks)
+
+
+def tile_cholesky_solve(factor: TileMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` from the tile factor (forward then backward)."""
+    y = tile_solve_triangular(factor, b, trans=False)
+    return tile_solve_triangular(factor, y, trans=True)

@@ -1,0 +1,139 @@
+"""TLR Cholesky factorization (paper §V; HiCMA's core operation).
+
+Right-looking lower Cholesky over a :class:`TLRMatrix`: dense POTRF on
+diagonal tiles, TRSM on the V factors of the panel, dense SYRK updates of
+diagonal tiles from low-rank panels, and low-rank GEMM updates with
+QR+SVD recompression for the trailing off-diagonal tiles.
+
+Arithmetic complexity drops from ``O(n^3)`` to roughly
+``O(n^2 k / nb + n k^2 nt)`` with per-tile ranks ``k << nb``, and the
+factor stays in TLR form, so memory follows the compressed footprint —
+the two effects behind the paper's speedups and its ability to run 2M
+problems.
+
+As with the dense tile variant, the factorization runs either serially
+or through the task runtime with the same codelets and the standard
+panel-first priorities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..runtime import AccessMode, Runtime
+from .tlr_matrix import TLRMatrix
+from .tlr_ops import (
+    tlr_gemm_codelet,
+    tlr_potrf_codelet,
+    tlr_syrk_codelet,
+    tlr_trsm_codelet,
+)
+
+__all__ = ["tlr_cholesky", "logdet_from_tlr_factor"]
+
+
+def _serial_tlr_cholesky(a: TLRMatrix, acc: float, rule: Optional[str]) -> None:
+    nt = a.nt
+    for k in range(nt):
+        tlr_potrf_codelet(a.diag[k])
+        lkk = a.diag[k]
+        for i in range(k + 1, nt):
+            tlr_trsm_codelet(lkk, a.low[(i, k)])
+        for i in range(k + 1, nt):
+            aik = a.low[(i, k)]
+            tlr_syrk_codelet(aik, a.diag[i])
+            for j in range(k + 1, i):
+                tlr_gemm_codelet(a.low[(i, j)], aik, a.low[(j, k)], acc, rule=rule)
+
+
+def _parallel_tlr_cholesky(
+    a: TLRMatrix, acc: float, rule: Optional[str], runtime: Runtime
+) -> None:
+    nt = a.nt
+    dh: Dict[int, object] = {
+        k: runtime.register(a.diag[k], name=f"D[{k}]") for k in range(nt)
+    }
+    lh: Dict[Tuple[int, int], object] = {
+        key: runtime.register(lr, name=f"L[{key[0]},{key[1]}]") for key, lr in a.low.items()
+    }
+    R, RW = AccessMode.READ, AccessMode.READWRITE
+    for k in range(nt):
+        base = nt - k
+        runtime.insert_task(
+            tlr_potrf_codelet, [(dh[k], RW)], name=f"potrf({k})", priority=3 * base
+        )
+        for i in range(k + 1, nt):
+            runtime.insert_task(
+                tlr_trsm_codelet,
+                [(dh[k], R), (lh[(i, k)], RW)],
+                name=f"trsm({i},{k})",
+                priority=2 * base,
+            )
+        for i in range(k + 1, nt):
+            runtime.insert_task(
+                tlr_syrk_codelet,
+                [(lh[(i, k)], R), (dh[i], RW)],
+                name=f"syrk({i},{k})",
+                priority=base,
+            )
+            for j in range(k + 1, i):
+                runtime.insert_task(
+                    tlr_gemm_codelet,
+                    [(lh[(i, j)], RW), (lh[(i, k)], R), (lh[(j, k)], R)],
+                    args=(acc,),
+                    kwargs={"rule": rule},
+                    name=f"gemm({i},{j},{k})",
+                    priority=base,
+                )
+    try:
+        runtime.wait_all()
+    finally:
+        # Drop the completed task graph so long-lived runtimes (one per MLE
+        # fit, many factorizations) do not accumulate bookkeeping.
+        runtime.tracker.reset()
+
+
+def tlr_cholesky(
+    a: TLRMatrix,
+    acc: Optional[float] = None,
+    *,
+    rule: Optional[str] = None,
+    runtime: Optional[Runtime] = None,
+) -> TLRMatrix:
+    """Factor a symmetric TLR matrix in place: ``A = L L^T`` in TLR form.
+
+    Parameters
+    ----------
+    a:
+        SPD matrix in TLR format; overwritten with the factor (dense
+        lower-triangular diagonal tiles, low-rank off-diagonal tiles).
+    acc:
+        Recompression accuracy for trailing updates; defaults to the
+        matrix's construction accuracy ``a.acc`` (the paper uses one
+        threshold end to end).
+    rule:
+        Truncation rule override (``"relative"`` / ``"absolute"``).
+    runtime:
+        Optional task runtime for parallel execution.
+
+    Returns
+    -------
+    The same object, now holding the TLR Cholesky factor.
+    """
+    acc_val = a.acc if acc is None else float(acc)
+    if runtime is None:
+        _serial_tlr_cholesky(a, acc_val, rule)
+    else:
+        _parallel_tlr_cholesky(a, acc_val, rule, runtime)
+    return a
+
+
+def logdet_from_tlr_factor(factor: TLRMatrix) -> float:
+    """``log |A|`` from a TLR Cholesky factor's dense diagonal tiles."""
+    total = 0.0
+    for k in range(factor.nt):
+        diag = np.diagonal(factor.diag[k])
+        total += float(np.sum(np.log(diag)))
+    return 2.0 * total

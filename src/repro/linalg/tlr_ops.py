@@ -1,0 +1,98 @@
+"""TLR codelets: the four kernels of the TLR Cholesky (paper §V).
+
+Each codelet mutates its output tile in place (dense diagonal tiles) or
+rebinds the factors of its output :class:`LowRank` block, so the same
+functions serve the serial loop and the task runtime.
+
+Kernel inventory (lower Cholesky, iteration ``k``):
+
+* :func:`tlr_potrf_codelet` — dense POTRF on ``D_kk``;
+* :func:`tlr_trsm_codelet` — ``A_ik <- A_ik L_kk^{-T}`` touches only the
+  ``k x nb`` factor ``V_ik`` (this is where TLR wins its flops);
+* :func:`tlr_syrk_codelet` — dense diagonal update
+  ``D_ii -= U_ik (V_ik V_ik^T) U_ik^T`` via two skinny GEMMs;
+* :func:`tlr_gemm_codelet` — low-rank trailing update
+  ``A_ij -= U_ik (V_ik V_jk^T U_jk^T)`` followed by QR+SVD recompression
+  back to the accuracy threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..exceptions import NotPositiveDefiniteError
+from .compression import LowRank, lr_add, recompress
+
+__all__ = [
+    "tlr_potrf_codelet",
+    "tlr_trsm_codelet",
+    "tlr_syrk_codelet",
+    "tlr_gemm_codelet",
+]
+
+
+def tlr_potrf_codelet(dkk: np.ndarray) -> None:
+    """In-place lower Cholesky of a dense diagonal tile."""
+    try:
+        factor = sla.cholesky(dkk, lower=True, check_finite=False)
+    except sla.LinAlgError as exc:
+        raise NotPositiveDefiniteError(
+            f"diagonal tile not positive definite under TLR updates: {exc}"
+        ) from exc
+    dkk[:] = np.tril(factor)
+
+
+def tlr_trsm_codelet(lkk: np.ndarray, block: LowRank) -> None:
+    """``block <- block @ inv(lkk).T`` applied to the V factor only.
+
+    With ``A_ik = U V``, the panel TRSM ``A_ik L_kk^{-T}`` equals
+    ``U (V L_kk^{-T})``; cost ``O(k nb^2)`` instead of ``O(nb^3)``.
+    """
+    if block.rank == 0:
+        return
+    vt = sla.solve_triangular(lkk, block.v.T, lower=True, check_finite=False)
+    block.set_factors(block.u, np.ascontiguousarray(vt.T))
+
+
+def tlr_syrk_codelet(aik: LowRank, dii: np.ndarray) -> None:
+    """Dense diagonal update ``dii -= aik @ aik.T`` from a low-rank panel.
+
+    Factored as ``(U (V V^T)) U^T`` — two ``nb x k`` GEMMs plus a ``k x k``
+    Gram matrix, ``O(k nb^2 + k^2 nb)`` flops.
+    """
+    if aik.rank == 0:
+        return
+    w = aik.v @ aik.v.T
+    t = aik.u @ w
+    dii -= t @ aik.u.T
+
+
+def tlr_gemm_codelet(
+    aij: LowRank,
+    aik: LowRank,
+    ajk: LowRank,
+    acc: float,
+    *,
+    rule: str | None = None,
+) -> None:
+    """Low-rank trailing update ``aij -= aik @ ajk.T``, then recompress.
+
+    The product of two low-rank panels is itself low-rank with rank
+    ``min(k_ik, k_jk)``:
+
+        aik @ ajk.T = U_ik (V_ik V_jk^T) U_jk^T = U_ik W U_jk^T
+
+    The update is appended by factor concatenation (exact) and rounded
+    back to accuracy ``acc`` with QR+SVD recompression — HiCMA's scheme
+    for keeping ranks bounded across the ``O(nt^3)`` update sweep.
+    """
+    if aik.rank == 0 or ajk.rank == 0:
+        return
+    w = aik.v @ ajk.v.T  # (k_ik, k_jk)
+    pu = aik.u  # (nb_i, k_ik)
+    pv = w @ ajk.u.T  # (k_ik, nb_j)
+    update = LowRank(pu, pv)
+    summed = lr_add(aij, update, beta=-1.0)
+    rounded = recompress(summed, acc, rule=rule)
+    aij.set_factors(rounded.u, rounded.v)

@@ -1,0 +1,68 @@
+"""Triangular solves against a TLR Cholesky factor (paper eq. (1), (4)).
+
+Block forward/backward substitution where every off-diagonal contribution
+is applied through the low-rank factors: ``A_ij @ x_j`` costs two skinny
+GEMMs (``O(k nb m)``) instead of a dense ``O(nb^2 m)``. Both the MLE
+(``Sigma^{-1} z``) and the prediction operation (eq. (4), 100 right-hand
+sides) reduce to these solves after the TLR factorization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..exceptions import ShapeError
+from .tlr_matrix import TLRMatrix
+
+__all__ = ["tlr_solve_triangular", "tlr_cholesky_solve"]
+
+
+def tlr_solve_triangular(
+    factor: TLRMatrix, b: np.ndarray, *, trans: bool = False
+) -> np.ndarray:
+    """Solve ``L x = b`` (or ``L^T x = b``) against a TLR factor.
+
+    Parameters
+    ----------
+    factor:
+        Lower TLR Cholesky factor from :func:`~repro.linalg.tlr_cholesky`.
+    b:
+        ``(n,)`` or ``(n, m)`` right-hand side (not modified).
+    trans:
+        Solve with ``L^T`` instead of ``L``.
+
+    Returns
+    -------
+    Solution array with the same shape as ``b``.
+    """
+    g = factor.grid
+    if b.shape[0] != g.n:
+        raise ShapeError(f"rhs leading dimension {b.shape[0]} != {g.n}")
+    blocks = g.partition(np.asarray(b, dtype=np.float64))
+    nt = g.nt
+    if not trans:
+        for i in range(nt):
+            for j in range(i):
+                lr = factor.low[(i, j)]
+                if lr.rank:
+                    blocks[i] -= lr.u @ (lr.v @ blocks[j])
+            blocks[i] = sla.solve_triangular(
+                factor.diag[i], blocks[i], lower=True, check_finite=False
+            )
+    else:
+        for i in range(nt - 1, -1, -1):
+            for j in range(i + 1, nt):
+                lr = factor.low[(j, i)]  # (L^T)_ij = (L_ji)^T = V^T U^T
+                if lr.rank:
+                    blocks[i] -= lr.v.T @ (lr.u.T @ blocks[j])
+            blocks[i] = sla.solve_triangular(
+                factor.diag[i], blocks[i], lower=True, trans="T", check_finite=False
+            )
+    return g.unpartition(blocks)
+
+
+def tlr_cholesky_solve(factor: TLRMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` from the TLR factor (forward then backward)."""
+    y = tlr_solve_triangular(factor, b, trans=False)
+    return tlr_solve_triangular(factor, y, trans=True)

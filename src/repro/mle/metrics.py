@@ -1,0 +1,41 @@
+"""Accuracy metrics (paper eq. (7)).
+
+The paper assesses prediction quality with the mean squared error over
+100 held-out points; MAE and RMSE are provided as standard companions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..utils.validation import as_float_array
+
+__all__ = ["mean_squared_error", "root_mean_squared_error", "mean_absolute_error"]
+
+
+def _pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    yt = as_float_array(y_true, "y_true")
+    yp = as_float_array(y_pred, "y_pred")
+    if yt.shape != yp.shape:
+        raise ShapeError(f"shape mismatch: {yt.shape} vs {yp.shape}")
+    if yt.size == 0:
+        raise ShapeError("metrics need at least one value")
+    return yt, yp
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """MSE, the paper's eq. (7): ``mean((Y_i - Yhat_i)^2)``."""
+    yt, yp = _pair(y_true, y_pred)
+    return float(np.mean((yt - yp) ** 2))
+
+
+def root_mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Square root of the MSE."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    yt, yp = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(yt - yp)))

@@ -1,0 +1,164 @@
+"""Monte-Carlo accuracy study harness (paper §VIII-D.1, Figures 6-7).
+
+Protocol, mirroring the paper:
+
+1. generate one set of irregular locations and ``R`` measurement vectors
+   from a known Matérn ``theta`` **in exact computation** (all variants
+   see identical data);
+2. for each replicate and each computation technique (TLR at several
+   accuracies, full-tile / full-block reference), re-estimate ``theta``
+   by MLE — these estimates populate the Figure 6 boxplots;
+3. per replicate, hold out ``m`` random points, predict them with the
+   fitted model, and record the MSE (eq. (7)) — the Figure 7 boxplots.
+
+The paper runs n = 40K with 100 replicates on a Cray; the harness scales
+all of that down by default and exposes every size knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.fields import sample_gaussian_field
+from ..data.synthetic import generate_irregular_grid
+from ..kernels.covariance import MaternCovariance
+from ..utils.logging import get_logger
+from ..utils.rng import SeedLike, as_generator, spawn_generators
+from .estimator import MLEstimator
+from .metrics import mean_squared_error
+
+__all__ = ["MonteCarloResult", "run_monte_carlo", "summarize_boxplot"]
+
+logger = get_logger("montecarlo")
+
+#: Default computation techniques, matching Figure 6's panels.
+DEFAULT_TECHNIQUES: Tuple[Tuple[str, Optional[float]], ...] = (
+    ("tlr", 1e-7),
+    ("tlr", 1e-9),
+    ("tlr", 1e-12),
+    ("full-tile", None),
+)
+
+
+def technique_label(variant: str, acc: Optional[float]) -> str:
+    """Human-readable technique name, e.g. ``"TLR-acc(1e-09)"``."""
+    if variant == "tlr":
+        return f"TLR-acc({acc:.0e})"
+    return {"full-tile": "Full-tile", "full-block": "Full-block"}.get(variant, variant)
+
+
+@dataclass
+class MonteCarloResult:
+    """Per-replicate estimates and prediction errors for one true theta.
+
+    Attributes
+    ----------
+    theta_true:
+        The generating parameter vector.
+    estimates:
+        ``technique -> (R, 3)`` array of estimated theta per replicate.
+    mse:
+        ``technique -> (R,)`` prediction MSE per replicate.
+    logliks:
+        ``technique -> (R,)`` maximized log-likelihood per replicate.
+    """
+
+    theta_true: np.ndarray
+    estimates: Dict[str, np.ndarray] = field(default_factory=dict)
+    mse: Dict[str, np.ndarray] = field(default_factory=dict)
+    logliks: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def run_monte_carlo(
+    theta_true: Sequence[float],
+    *,
+    n: int = 900,
+    n_replicates: int = 10,
+    n_predict: int = 100,
+    techniques: Sequence[Tuple[str, Optional[float]]] = DEFAULT_TECHNIQUES,
+    tile_size: Optional[int] = None,
+    maxiter: int = 100,
+    seed: SeedLike = None,
+    metric: str = "euclidean",
+) -> MonteCarloResult:
+    """Run the Figure 6/7 Monte-Carlo study for one true parameter vector.
+
+    Parameters
+    ----------
+    theta_true:
+        ``(variance, range, smoothness)`` of the generating Matérn model.
+    n:
+        Number of spatial locations (paper: 40,000).
+    n_replicates:
+        Independent measurement vectors (paper: 100).
+    n_predict:
+        Held-out points per replicate for the MSE (paper: 100).
+    techniques:
+        Sequence of ``(variant, acc)`` pairs to compare.
+    tile_size, maxiter, seed, metric:
+        Size/optimizer/randomness knobs.
+
+    Returns
+    -------
+    :class:`MonteCarloResult`
+    """
+    theta_true = np.asarray(theta_true, dtype=np.float64)
+    rng = as_generator(seed)
+    locations = generate_irregular_grid(n, rng)
+    truth = MaternCovariance(*theta_true, metric=metric)
+    fields = sample_gaussian_field(locations, truth, rng, n_samples=n_replicates)
+    fields = np.atleast_2d(fields)
+    replicate_rngs = spawn_generators(n_replicates, rng)
+
+    result = MonteCarloResult(theta_true=theta_true)
+    for variant, acc in techniques:
+        label = technique_label(variant, acc)
+        est = np.empty((n_replicates, theta_true.size))
+        mses = np.empty(n_replicates)
+        lls = np.empty(n_replicates)
+        for r in range(n_replicates):
+            z = fields[r]
+            rrng = replicate_rngs[r]
+            holdout = rrng.choice(n, size=min(n_predict, n - 1), replace=False)
+            mask = np.ones(n, dtype=bool)
+            mask[holdout] = False
+            estimator = MLEstimator(
+                locations[mask],
+                z[mask],
+                model=MaternCovariance(metric=metric),
+                variant=variant,
+                acc=acc,
+                tile_size=tile_size,
+            )
+            fit = estimator.fit(maxiter=maxiter)
+            pred = estimator.predict(fit, locations[holdout])
+            est[r] = fit.theta
+            lls[r] = fit.loglik
+            mses[r] = mean_squared_error(z[holdout], pred)
+            logger.debug(
+                "%s replicate %d: theta=%s mse=%.4g", label, r, np.round(fit.theta, 4), mses[r]
+            )
+        result.estimates[label] = est
+        result.mse[label] = mses
+        result.logliks[label] = lls
+    return result
+
+
+def summarize_boxplot(samples: np.ndarray) -> Dict[str, float]:
+    """Five-number summary (plus mean) of a 1-D sample, as Figure 6 boxplots.
+
+    Returns a dict with ``min, q1, median, q3, max, mean``.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    return {
+        "min": float(arr.min()),
+        "q1": float(q1),
+        "median": float(med),
+        "q3": float(q3),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+    }

@@ -1,0 +1,22 @@
+"""Derivative-free optimization (NLopt substitute; paper §VI).
+
+ExaGeoStat maximizes the Gaussian log-likelihood with NLopt's
+derivative-free local optimizers. This subpackage provides a from-scratch
+bound-constrained Nelder-Mead simplex implementation with the same role:
+maximize a black-box objective over a box, no gradients, tolerance-based
+termination. A multi-start wrapper guards against the simplex stalling on
+anisotropic likelihood surfaces.
+"""
+
+from .result import OptimizeResult
+from .neldermead import nelder_mead, multistart_nelder_mead
+from .bounds import clip_to_bounds, default_matern_bounds, empirical_start
+
+__all__ = [
+    "OptimizeResult",
+    "nelder_mead",
+    "multistart_nelder_mead",
+    "clip_to_bounds",
+    "default_matern_bounds",
+    "empirical_start",
+]

@@ -1,0 +1,236 @@
+"""Bound-constrained Nelder-Mead simplex minimization (from scratch).
+
+Implements the standard Nelder-Mead method (reflection, expansion,
+outside/inside contraction, shrink) with the adaptive coefficients of
+Gao & Han (2012) for dimension-robustness, plus NLopt-style box
+constraints: every trial vertex is clamped to the bounds before
+evaluation. Termination follows the usual twin criteria on the simplex's
+function-value spread (``ftol``) and geometric diameter (``xtol``).
+
+The MLE drivers *maximize* the log-likelihood by minimizing its negation;
+this module is a pure minimizer and knows nothing about likelihoods.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import OptimizationError
+from ..utils.rng import SeedLike, as_generator
+from ..utils.validation import as_float_array
+from .bounds import clip_to_bounds, validate_bounds
+from .result import OptimizeResult
+
+__all__ = ["nelder_mead", "multistart_nelder_mead"]
+
+
+def _initial_simplex(
+    x0: np.ndarray, lower: np.ndarray, upper: np.ndarray, scale: float
+) -> np.ndarray:
+    """Axis-aligned initial simplex around ``x0``, kept inside the box.
+
+    Each extra vertex perturbs one coordinate by ``scale`` times the box
+    width in that coordinate, flipping direction when the step would
+    leave the box.
+    """
+    n = x0.size
+    simplex = np.repeat(x0[None, :], n + 1, axis=0)
+    widths = upper - lower
+    for i in range(n):
+        step = scale * widths[i]
+        candidate = x0[i] + step
+        if candidate > upper[i]:
+            candidate = x0[i] - step
+        simplex[i + 1, i] = candidate
+    return clip_to_bounds(simplex, lower, upper)
+
+
+def nelder_mead(
+    fn: Callable[[np.ndarray], float],
+    x0: Sequence[float],
+    lower: Sequence[float],
+    upper: Sequence[float],
+    *,
+    ftol: float = 1e-7,
+    xtol: float = 1e-7,
+    maxiter: int = 500,
+    initial_scale: float = 0.10,
+    callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
+) -> OptimizeResult:
+    """Minimize ``fn`` over a box with the Nelder-Mead simplex method.
+
+    Parameters
+    ----------
+    fn:
+        Objective; called with a 1-D parameter vector inside the box.
+        May return ``+inf`` (e.g. penalty for a failed factorization).
+    x0:
+        Starting point (clamped into the box).
+    lower, upper:
+        Box constraints (elementwise, strict ``lower < upper``).
+    ftol:
+        Objective-spread tolerance: the simplex's best-worst spread must
+        fall below ``ftol * (|f_best| + ftol)``.
+    xtol:
+        Diameter tolerance: the simplex diameter (relative to box width)
+        must fall below ``xtol``. Termination requires **both** the
+        ftol and xtol criteria (scipy semantics; either alone fires
+        spuriously on symmetric or plateaued objectives).
+    maxiter:
+        Iteration cap (one reflection cycle per iteration).
+    initial_scale:
+        Initial simplex size as a fraction of the box width per axis.
+    callback:
+        Called as ``callback(iteration, best_x, best_f)`` once per
+        iteration — the hook the MLE driver uses to log per-iteration
+        timings (the quantity Figures 3-4 report).
+
+    Returns
+    -------
+    :class:`OptimizeResult`
+    """
+    lo, hi = validate_bounds(lower, upper)
+    x0 = clip_to_bounds(as_float_array(x0, "x0"), lo, hi)
+    n = x0.size
+    if n == 0:
+        raise OptimizationError("cannot optimize a zero-dimensional parameter vector")
+    if maxiter < 1:
+        raise OptimizationError(f"maxiter must be >= 1, got {maxiter}")
+
+    # Gao-Han adaptive coefficients.
+    alpha = 1.0
+    beta = 1.0 + 2.0 / n
+    gamma = 0.75 - 1.0 / (2.0 * n)
+    delta = 1.0 - 1.0 / n
+
+    nfev = 0
+
+    def evaluate(x: np.ndarray) -> float:
+        nonlocal nfev
+        nfev += 1
+        val = float(fn(x))
+        if np.isnan(val):
+            # NaN poisons simplex ordering; treat as "worse than anything".
+            return np.inf
+        return val
+
+    simplex = _initial_simplex(x0, lo, hi, initial_scale)
+    fvals = np.array([evaluate(v) for v in simplex])
+    history: list[float] = []
+    widths = hi - lo
+
+    converged = False
+    message = "maximum number of iterations reached"
+    it = 0
+    for it in range(1, maxiter + 1):
+        order = np.argsort(fvals, kind="stable")
+        simplex = simplex[order]
+        fvals = fvals[order]
+        best, worst = fvals[0], fvals[-1]
+        history.append(float(best))
+        if callback is not None:
+            callback(it, simplex[0].copy(), float(best))
+
+        # Termination: require BOTH criteria (as scipy does) — the
+        # f-spread alone fires spuriously when distinct vertices share an
+        # objective value (symmetric objectives), and the diameter alone
+        # can linger on flat plateaus.
+        f_spread = worst - best
+        f_ok = np.isfinite(best) and f_spread <= ftol * (abs(best) + ftol)
+        diam = float(np.max(np.abs(simplex[1:] - simplex[0]) / widths))
+        if f_ok and diam <= xtol:
+            converged = True
+            message = "simplex spread below ftol and diameter below xtol"
+            break
+
+        centroid = simplex[:-1].mean(axis=0)
+        xr = clip_to_bounds(centroid + alpha * (centroid - simplex[-1]), lo, hi)
+        fr = evaluate(xr)
+        if fr < fvals[0]:
+            # Try expanding further along the reflection direction.
+            xe = clip_to_bounds(centroid + beta * (xr - centroid), lo, hi)
+            fe = evaluate(xe)
+            if fe < fr:
+                simplex[-1], fvals[-1] = xe, fe
+            else:
+                simplex[-1], fvals[-1] = xr, fr
+        elif fr < fvals[-2]:
+            simplex[-1], fvals[-1] = xr, fr
+        else:
+            if fr < fvals[-1]:
+                # Outside contraction.
+                xc = clip_to_bounds(centroid + gamma * (xr - centroid), lo, hi)
+                fc = evaluate(xc)
+                accept = fc <= fr
+            else:
+                # Inside contraction.
+                xc = clip_to_bounds(centroid - gamma * (centroid - simplex[-1]), lo, hi)
+                fc = evaluate(xc)
+                accept = fc < fvals[-1]
+            if accept:
+                simplex[-1], fvals[-1] = xc, fc
+            else:
+                # Shrink toward the best vertex.
+                for i in range(1, n + 1):
+                    simplex[i] = clip_to_bounds(
+                        simplex[0] + delta * (simplex[i] - simplex[0]), lo, hi
+                    )
+                    fvals[i] = evaluate(simplex[i])
+
+    order = np.argsort(fvals, kind="stable")
+    simplex = simplex[order]
+    fvals = fvals[order]
+    return OptimizeResult(
+        x=simplex[0].copy(),
+        fun=float(fvals[0]),
+        nfev=nfev,
+        nit=it,
+        converged=converged,
+        message=message,
+        history=history,
+    )
+
+
+def multistart_nelder_mead(
+    fn: Callable[[np.ndarray], float],
+    lower: Sequence[float],
+    upper: Sequence[float],
+    *,
+    n_starts: int = 3,
+    x0: Optional[Sequence[float]] = None,
+    seed: SeedLike = None,
+    **nm_kwargs: object,
+) -> OptimizeResult:
+    """Run Nelder-Mead from several starts; return the best result.
+
+    The first start is ``x0`` (when given); the rest are drawn
+    log-uniformly inside the box, which suits positive scale parameters
+    like the Matérn theta. Evaluation counts are aggregated.
+    """
+    lo, hi = validate_bounds(lower, upper)
+    rng = as_generator(seed)
+    starts: list[np.ndarray] = []
+    if x0 is not None:
+        starts.append(clip_to_bounds(as_float_array(x0, "x0"), lo, hi))
+    log_ok = bool(np.all(lo > 0.0))
+    while len(starts) < max(1, n_starts):
+        u = rng.random(lo.size)
+        if log_ok:
+            starts.append(np.exp(np.log(lo) + u * (np.log(hi) - np.log(lo))))
+        else:
+            starts.append(lo + u * (hi - lo))
+    best: Optional[OptimizeResult] = None
+    total_nfev = 0
+    total_nit = 0
+    for start in starts:
+        res = nelder_mead(fn, start, lo, hi, **nm_kwargs)  # type: ignore[arg-type]
+        total_nfev += res.nfev
+        total_nit += res.nit
+        if best is None or res.fun < best.fun:
+            best = res
+    assert best is not None
+    best.nfev = total_nfev
+    best.nit = total_nit
+    return best

@@ -1,0 +1,49 @@
+"""Result container for the derivative-free optimizers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+__all__ = ["OptimizeResult"]
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of a derivative-free minimization.
+
+    Attributes
+    ----------
+    x:
+        Best parameter vector found.
+    fun:
+        Objective value at ``x``.
+    nfev:
+        Number of objective evaluations.
+    nit:
+        Number of simplex iterations.
+    converged:
+        True when a tolerance criterion (not the iteration cap) stopped
+        the search.
+    message:
+        Human-readable termination reason.
+    history:
+        Best objective value after each iteration (for convergence
+        diagnostics and tests).
+    """
+
+    x: np.ndarray
+    fun: float
+    nfev: int
+    nit: int
+    converged: bool
+    message: str
+    history: List[float] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OptimizeResult(fun={self.fun:.6g}, nfev={self.nfev}, nit={self.nit}, "
+            f"converged={self.converged}, x={np.array2string(self.x, precision=5)})"
+        )

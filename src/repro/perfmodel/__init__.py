@@ -1,0 +1,60 @@
+"""Performance models standing in for the paper's hardware (DESIGN.md §4).
+
+The paper times one MLE iteration on four Intel shared-memory servers
+(Fig. 3) and on 256/1024 nodes of the Shaheen-2 Cray XC40 (Fig. 4-5) at
+n up to 2M. A pure-Python substrate cannot execute those sizes, so this
+subpackage reproduces the *performance structure* instead:
+
+* :mod:`machine` / :mod:`cluster` — hardware descriptions (peak flops,
+  sustained efficiencies, memory bandwidth/capacity, interconnect);
+* :mod:`flops` — exact per-kernel flop/byte counters for the dense-tile
+  and TLR algorithms implemented in :mod:`repro.linalg`;
+* :mod:`rankmodel` — parametric model of TLR tile ranks vs accuracy and
+  tile separation, calibratable against measured ranks;
+* :mod:`costmodel` — roofline task costs (compute- vs memory-bound);
+* :mod:`analytic` — closed-form aggregate time/memory estimates for one
+  MLE iteration or prediction at paper scale, with OOM detection;
+* :mod:`distsim` — a discrete-event simulator of task execution over a
+  2-D block-cyclic tile distribution, cross-validating the closed form
+  on small tile counts.
+"""
+
+from .machine import MachineSpec, MACHINES, get_machine
+from .cluster import ClusterSpec, shaheen2
+from .flops import (
+    gemm_flops,
+    lr_gemm_flops,
+    lr_syrk_flops,
+    lr_trsm_flops,
+    potrf_flops,
+    syrk_flops,
+    trsm_flops,
+)
+from .rankmodel import RankModel, calibrate_rank_model
+from .costmodel import TaskCost, task_time
+from .analytic import PerfEstimate, estimate_mle_iteration, estimate_prediction
+from .distsim import DistributedSimulator, SimReport
+
+__all__ = [
+    "MachineSpec",
+    "MACHINES",
+    "get_machine",
+    "ClusterSpec",
+    "shaheen2",
+    "potrf_flops",
+    "trsm_flops",
+    "syrk_flops",
+    "gemm_flops",
+    "lr_trsm_flops",
+    "lr_syrk_flops",
+    "lr_gemm_flops",
+    "RankModel",
+    "calibrate_rank_model",
+    "TaskCost",
+    "task_time",
+    "PerfEstimate",
+    "estimate_mle_iteration",
+    "estimate_prediction",
+    "DistributedSimulator",
+    "SimReport",
+]

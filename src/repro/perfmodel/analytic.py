@@ -1,0 +1,421 @@
+"""Closed-form performance estimates for paper-scale problem sizes.
+
+Aggregates the exact per-kernel flop/byte counts of :mod:`.flops` over
+the task population of one MLE iteration (generation + factorization +
+solve + logdet) or one prediction operation, applies the roofline rates
+of a :class:`~repro.perfmodel.machine.MachineSpec` or
+:class:`~repro.perfmodel.cluster.ClusterSpec`, and accounts for:
+
+* parallelism: estimated makespan = max(total-work time at aggregate
+  rate, critical-path time at single-core rate);
+* the fork-join penalty of the Full-block LAPACK baseline (lower
+  sustained efficiency — Figure 3's Full-block > Full-tile gap);
+* communication on distributed runs (2-D block-cyclic panel multicasts,
+  overlapped with computation by the asynchronous runtime, so the
+  makespan takes the max of compute and comm);
+* per-node memory, flagging out-of-memory configurations — these are
+  the *missing points* in the paper's Figure 4.
+
+TLR costs take tile ranks from a :class:`~repro.perfmodel.rankmodel.RankModel`;
+ranks depend only on tile-index separation after Morton ordering, which
+lets the ``O(nt^3)`` task population be summed in ``O(nt^2)`` vectorized
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .cluster import ClusterSpec
+from .costmodel import TaskCost
+from .flops import (
+    KERNEL_EVAL_FLOPS,
+    compression_flops,
+    dense_tile_bytes,
+    gemm_flops,
+    lr_syrk_flops,
+    lr_tile_bytes,
+    lr_trsm_flops,
+    potrf_flops,
+    syrk_flops,
+    trsm_flops,
+)
+from .machine import MachineSpec
+from .rankmodel import DEFAULT_RANK_MODEL, RankModel
+
+__all__ = ["PerfEstimate", "estimate_mle_iteration", "estimate_prediction"]
+
+#: Workspace multiplier on the matrix footprint (runtime buffers, RHS,
+#: compression scratch).
+MEMORY_OVERHEAD = 1.15
+
+#: Low-rank kernels re-stream their operands during QR/SVD recompression;
+#: the byte counts of LR task classes are scaled by this pass count.
+LR_TRAFFIC_FACTOR = 3.0
+
+#: Distributed TLR efficiency derating. The paper (§VIII-C) observes that
+#: TLR's low arithmetic intensity turns latency-bound across remote node
+#: memories, with "significant overheads which cannot be compensated
+#: since computation is very limited". Calibrated so the modeled
+#: distributed speedup tops out near the paper's reported ~5X.
+DIST_TLR_EFFICIENCY = 0.30
+
+
+@dataclass
+class PerfEstimate:
+    """Modeled execution profile of one operation.
+
+    Attributes
+    ----------
+    time_s:
+        Estimated wall-clock seconds.
+    flops, bytes:
+        Aggregate flop count and memory traffic.
+    matrix_bytes:
+        Resident size of the (possibly compressed) covariance matrix.
+    mem_per_node_bytes:
+        Peak modeled per-node memory (equals ``matrix_bytes`` times the
+        workspace overhead on shared memory).
+    oom:
+        True when the configuration does not fit in memory — the paper's
+        Figure 4 omits exactly these points.
+    breakdown:
+        Stage name -> seconds.
+    """
+
+    time_s: float
+    flops: float
+    bytes: float
+    matrix_bytes: float
+    mem_per_node_bytes: float
+    oom: bool
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------
+# class-level cost aggregation
+# --------------------------------------------------------------------------
+
+
+def _dense_tile_costs(nt: int, nb: int) -> Dict[str, TaskCost]:
+    """Aggregate costs of the dense tile Cholesky task population."""
+    n_trsm = nt * (nt - 1) / 2.0
+    n_syrk = n_trsm
+    a = np.arange(2, nt, dtype=np.float64)
+    n_gemm = float(np.sum((nt - a) * (a - 1))) if nt > 2 else 0.0
+    tb = dense_tile_bytes(nb)
+    return {
+        "potrf": TaskCost(nt * potrf_flops(nb), nt * 2 * tb),
+        "trsm": TaskCost(n_trsm * trsm_flops(nb), n_trsm * 3 * tb),
+        "syrk": TaskCost(n_syrk * syrk_flops(nb), n_syrk * 3 * tb),
+        "gemm": TaskCost(n_gemm * gemm_flops(nb, nb, nb), n_gemm * 4 * tb),
+    }
+
+
+def _lr_gemm_flops_vec(nb: int, k_ij: np.ndarray, k_ik: np.ndarray, k_jk: np.ndarray) -> np.ndarray:
+    """Vectorized copy of :func:`repro.perfmodel.flops.lr_gemm_flops`."""
+    kk = k_ij + k_ik
+    product = 4.0 * k_ik * k_jk * nb
+    rounding = 8.0 * nb * kk * kk + 22.0 * kk**3
+    return product + rounding
+
+
+def _tlr_tile_costs(
+    nt: int, nb: int, acc: float, rank_model: RankModel
+) -> tuple[Dict[str, TaskCost], np.ndarray]:
+    """Aggregate costs of the TLR Cholesky task population.
+
+    Returns the per-class costs and the separation-indexed rank array
+    (``ranks[d-1]`` is the rank at separation ``d``).
+    """
+    if nt < 2:
+        return (
+            {"potrf": TaskCost(nt * potrf_flops(nb), nt * 2 * dense_tile_bytes(nb))},
+            np.zeros(0, dtype=np.int64),
+        )
+    ranks = rank_model.rank_array(nt, acc, nb).astype(np.float64)
+    d = np.arange(1, nt, dtype=np.float64)
+    counts = nt - d  # tiles at separation d in the lower triangle
+    tb_dense = dense_tile_bytes(nb)
+    lr_bytes = 8.0 * 2.0 * nb * ranks
+
+    trsm_f = float(np.sum(counts * lr_trsm_flops(nb, ranks)))
+    trsm_b = float(np.sum(counts * (tb_dense + 2 * lr_bytes)))
+    syrk_f = float(np.sum(counts * lr_syrk_flops(nb, ranks)))
+    syrk_b = float(np.sum(counts * (2 * tb_dense + lr_bytes)))
+
+    # GEMM sweep: for separations a > b >= 1 the update uses ranks
+    # (r[a-b], r[a], r[b]) and occurs (nt - a) times across iterations k.
+    gemm_f = 0.0
+    gemm_b = 0.0
+    r = ranks  # r[d-1] = rank at separation d
+    for a in range(2, nt):
+        b = np.arange(1, a, dtype=np.int64)
+        k_ij = r[a - b - 1]
+        k_ik = np.full(b.size, r[a - 1])
+        k_jk = r[b - 1]
+        fl = _lr_gemm_flops_vec(nb, k_ij, k_ik, k_jk)
+        by = 8.0 * 2.0 * nb * (2 * k_ij + k_ik + k_jk)
+        mult = float(nt - a)
+        gemm_f += mult * float(np.sum(fl))
+        gemm_b += mult * float(np.sum(by))
+
+    return (
+        {
+            "potrf": TaskCost(nt * potrf_flops(nb), nt * 2 * tb_dense),
+            "trsm": TaskCost(trsm_f, LR_TRAFFIC_FACTOR * trsm_b),
+            "syrk": TaskCost(syrk_f, LR_TRAFFIC_FACTOR * syrk_b),
+            "gemm": TaskCost(gemm_f, LR_TRAFFIC_FACTOR * gemm_b),
+        },
+        ranks.astype(np.int64),
+    )
+
+
+def _generation_costs(
+    n: int, nb: int, variant: str, acc: float, rank_model: RankModel
+) -> TaskCost:
+    """Covariance generation (+ compression for TLR)."""
+    nt = -(-n // nb)
+    lower_elems = n * (n + 1) / 2.0 if variant == "full-block" else None
+    if variant == "full-block":
+        assert lower_elems is not None
+        # LAPACK path generates the full symmetric matrix.
+        return TaskCost(KERNEL_EVAL_FLOPS * n * n, 8.0 * n * n)
+    gen_elems = sum(
+        min(nb, n - i * nb) * min(nb, n - j * nb) for i in range(nt) for j in range(i + 1)
+    )
+    cost = TaskCost(KERNEL_EVAL_FLOPS * gen_elems, 8.0 * gen_elems)
+    if variant == "tlr" and nt > 1:
+        ranks = rank_model.rank_array(nt, acc, nb).astype(np.float64)
+        d = np.arange(1, nt, dtype=np.float64)
+        counts = nt - d
+        comp_f = float(np.sum(counts * 6.0 * nb * nb * np.maximum(ranks, 1)))
+        comp_b = float(np.sum(counts * (dense_tile_bytes(nb) + 8.0 * 2 * nb * ranks)))
+        cost = cost + TaskCost(comp_f, comp_b)
+    return cost
+
+
+def _solve_cost(n: int, nb: int, variant: str, ranks: np.ndarray, n_rhs: int) -> TaskCost:
+    """Forward+backward triangular solve with ``n_rhs`` right-hand sides."""
+    nt = -(-n // nb)
+    if variant == "full-block":
+        return TaskCost(2.0 * n * n * n_rhs, 8.0 * n * n)
+    diag = nt * trsm_flops(nb, n_rhs) * 2
+    if nt < 2 or variant == "full-tile":
+        off = nt * (nt - 1) / 2.0 * gemm_flops(nb, nb, n_rhs) * 2
+        by = 8.0 * (n * n / 2.0 + 2 * n * n_rhs)
+        return TaskCost(diag + off, by)
+    d = np.arange(1, nt, dtype=np.float64)
+    counts = nt - d
+    off = float(np.sum(counts * 4.0 * nb * ranks * n_rhs)) * 2
+    by = float(np.sum(counts * 8.0 * 2 * nb * ranks)) + 8.0 * 2 * n * n_rhs
+    return TaskCost(diag + off, by)
+
+
+def _matrix_bytes(n: int, nb: int, variant: str, ranks: np.ndarray) -> float:
+    """Resident covariance bytes for each storage variant."""
+    nt = -(-n // nb)
+    if variant == "full-block":
+        return 8.0 * n * n
+    if variant == "full-tile":
+        # Chameleon allocates the full square tile descriptor (the paper's
+        # n = 1M example: 10^12 double-precision elements).
+        return 8.0 * n * n
+    diag = nt * dense_tile_bytes(nb)
+    if nt < 2:
+        return diag
+    d = np.arange(1, nt, dtype=np.float64)
+    counts = nt - d
+    return diag + float(np.sum(counts * 8.0 * 2 * nb * ranks))
+
+
+# --------------------------------------------------------------------------
+# roofline aggregation
+# --------------------------------------------------------------------------
+
+
+def _class_seconds(
+    cost: TaskCost, machine: MachineSpec, cores: int, efficiency: float
+) -> float:
+    """Roofline seconds for one task class on ``cores`` of a machine."""
+    compute = cost.flops / (machine.peak_gflops * efficiency * 1e9 * cores / machine.cores)
+    memory = cost.bytes / (machine.mem_bw_gbs * 1e9 * min(1.0, cores / machine.cores + 0.25))
+    return max(compute, memory)
+
+
+def _critical_path_seconds(
+    nt: int, nb: int, variant: str, ranks: np.ndarray, machine: MachineSpec
+) -> float:
+    """Panel critical path: one POTRF + one TRSM per iteration.
+
+    The asynchronous runtime's lookahead overlaps each iteration's
+    trailing updates with subsequent panels (the design point of tile
+    algorithms, §V), so only the panel chain serializes. POTRF runs at
+    dense single-core rate; the TLR TRSM at the low-rank rate.
+    """
+    per_core_dense = machine.peak_gflops / machine.cores * machine.eff_dense * 1e9
+    per_core_lr = machine.peak_gflops / machine.cores * machine.eff_lr * 1e9
+    if variant == "tlr" and ranks.size:
+        step = potrf_flops(nb) / per_core_dense + lr_trsm_flops(nb, float(ranks[0])) / per_core_lr
+    else:
+        step = (potrf_flops(nb) + trsm_flops(nb)) / per_core_dense
+    return nt * step
+
+
+# --------------------------------------------------------------------------
+# public estimators
+# --------------------------------------------------------------------------
+
+
+def estimate_mle_iteration(
+    n: int,
+    *,
+    variant: str = "tlr",
+    nb: int = 1900,
+    acc: float = 1e-9,
+    machine: Optional[MachineSpec] = None,
+    cluster: Optional[ClusterSpec] = None,
+    rank_model: RankModel = DEFAULT_RANK_MODEL,
+    n_rhs: int = 1,
+) -> PerfEstimate:
+    """Model the time and memory of one MLE iteration (paper Figs. 3-4).
+
+    Exactly one of ``machine`` (shared memory, Fig. 3) or ``cluster``
+    (distributed, Fig. 4) must be given.
+
+    Parameters
+    ----------
+    n:
+        Number of spatial locations.
+    variant:
+        ``"full-block"``, ``"full-tile"`` or ``"tlr"``.
+    nb:
+        Tile size (paper: 560 dense / 1900 TLR on Shaheen-2).
+    acc:
+        TLR accuracy threshold.
+    rank_model:
+        Tile-rank model for TLR variants.
+    n_rhs:
+        Right-hand sides in the solve stage (1 for the MLE).
+    """
+    if (machine is None) == (cluster is None):
+        raise ConfigurationError("provide exactly one of machine= or cluster=")
+    node = machine if machine is not None else cluster.node  # type: ignore[union-attr]
+    nt = -(-n // nb)
+
+    if variant == "full-block":
+        chol = {"potrf": TaskCost(n**3 / 3.0, 8.0 * n * n)}
+        ranks = np.zeros(0, dtype=np.int64)
+        eff = node.eff_block
+    elif variant == "full-tile":
+        chol = _dense_tile_costs(nt, nb)
+        ranks = np.zeros(0, dtype=np.int64)
+        eff = node.eff_dense
+    elif variant == "tlr":
+        chol, ranks = _tlr_tile_costs(nt, nb, acc, rank_model)
+        eff = node.eff_lr
+    else:
+        raise ConfigurationError(f"unknown variant {variant!r}")
+
+    gen = _generation_costs(n, nb, variant, acc, rank_model)
+    solve = _solve_cost(n, nb, variant, ranks, n_rhs)
+    matrix_bytes = _matrix_bytes(n, nb, variant, ranks)
+
+    if machine is not None:
+        cores = machine.cores
+        breakdown = {
+            "generation": _class_seconds(gen, machine, cores, machine.eff_dense * 0.5),
+            "solve": _class_seconds(solve, machine, cores, eff),
+        }
+        chol_s = sum(_class_seconds(c, machine, cores, eff) for c in chol.values())
+        cp_s = _critical_path_seconds(nt, nb, variant, ranks, machine)
+        breakdown["factorization"] = max(chol_s, cp_s)
+        total = sum(breakdown.values())
+        mem = matrix_bytes * MEMORY_OVERHEAD
+        oom = mem > machine.mem_bytes
+        agg = gen + solve
+        for c in chol.values():
+            agg = agg + c
+        return PerfEstimate(total, agg.flops, agg.bytes, matrix_bytes, mem, oom, breakdown)
+
+    # ---------------------------------------------------------- distributed
+    assert cluster is not None
+    p = cluster.n_nodes
+    cores = cluster.total_cores
+    breakdown = {
+        "generation": _class_seconds(gen, node, node.cores, node.eff_dense * 0.5) / p,
+        "solve": _class_seconds(solve, node, node.cores, eff) / min(p, max(1, nt)),
+    }
+    chol_s = sum(_class_seconds(c, node, node.cores, eff) for c in chol.values()) / p
+    cp_s = _critical_path_seconds(nt, nb, variant, ranks, node)
+    if variant == "tlr":
+        # Latency-bound regime across remote memories (§VIII-C): both the
+        # aggregate throughput and the panel pipeline lose efficiency.
+        chol_s /= DIST_TLR_EFFICIENCY
+        cp_s /= DIST_TLR_EFFICIENCY
+    # 2-D block-cyclic panel multicast: every panel tile reaches ~sqrt(P)
+    # nodes; per-node received volume and message count set the comm time.
+    pr, pc = cluster.grid_shape()
+    if variant == "tlr" and ranks.size:
+        mean_tile_bytes = float(np.mean(8.0 * 2 * nb * ranks))
+    else:
+        mean_tile_bytes = dense_tile_bytes(nb)
+    n_panel_tiles = nt * (nt - 1) / 2.0
+    per_node_volume = n_panel_tiles * mean_tile_bytes * (pr + pc) / 2.0 / p
+    per_node_msgs = n_panel_tiles * (pr + pc) / 2.0 / p
+    comm_s = per_node_volume / (cluster.net_bw_gbs * 1e9) + per_node_msgs * (
+        cluster.net_latency_us * 1e-6
+    )
+    # The asynchronous runtime overlaps communication with computation.
+    breakdown["factorization"] = max(chol_s, cp_s, comm_s)
+    breakdown["communication_overlapped"] = comm_s
+    total = breakdown["generation"] + breakdown["solve"] + breakdown["factorization"]
+    mem_per_node = matrix_bytes * MEMORY_OVERHEAD / p
+    oom = mem_per_node > node.mem_bytes
+    agg = gen + solve
+    for c in chol.values():
+        agg = agg + c
+    return PerfEstimate(total, agg.flops, agg.bytes, matrix_bytes, mem_per_node, oom, breakdown)
+
+
+def estimate_prediction(
+    n: int,
+    m: int = 100,
+    *,
+    variant: str = "tlr",
+    nb: int = 1900,
+    acc: float = 1e-9,
+    machine: Optional[MachineSpec] = None,
+    cluster: Optional[ClusterSpec] = None,
+    rank_model: RankModel = DEFAULT_RANK_MODEL,
+) -> PerfEstimate:
+    """Model the prediction operation (paper Fig. 5): factor + m-RHS solves.
+
+    The factorization of ``Sigma_22`` dominates for small ``m`` (the
+    paper's 100 unknowns), so these curves track the MLE-iteration
+    curves — the observation made in §VIII-C.
+    """
+    base = estimate_mle_iteration(
+        n,
+        variant=variant,
+        nb=nb,
+        acc=acc,
+        machine=machine,
+        cluster=cluster,
+        rank_model=rank_model,
+        n_rhs=m,
+    )
+    # Cross-covariance application Sigma_12 @ alpha: m x n GEMV-like work.
+    node = machine if machine is not None else cluster.node  # type: ignore[union-attr]
+    scale = 1 if machine is not None else cluster.n_nodes  # type: ignore[union-attr]
+    extra = TaskCost(2.0 * m * n + KERNEL_EVAL_FLOPS * m * n, 8.0 * m * n)
+    extra_s = _class_seconds(extra, node, node.cores, node.eff_dense * 0.5) / scale
+    base.breakdown["cross_covariance"] = extra_s
+    base.time_s += extra_s
+    base.flops += extra.flops
+    base.bytes += extra.bytes
+    return base

@@ -1,0 +1,67 @@
+"""Distributed-memory cluster description (paper §VIII-A, Shaheen-2).
+
+Shaheen-2 is a Cray XC40 with 6,174 dual-socket 16-core Haswell nodes
+(128 GB each) on an Aries dragonfly interconnect. The paper uses 256
+(~8,200 cores) and 1,024 (~33,000 cores) node allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .machine import MachineSpec, get_machine
+
+__all__ = ["ClusterSpec", "shaheen2"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of :class:`MachineSpec` nodes.
+
+    Attributes
+    ----------
+    node:
+        Per-node hardware description.
+    n_nodes:
+        Number of allocated nodes.
+    net_latency_us:
+        Point-to-point message latency, microseconds.
+    net_bw_gbs:
+        Per-node injection bandwidth, GB/s (Aries: ~10 GB/s usable).
+    """
+
+    node: MachineSpec
+    n_nodes: int
+    net_latency_us: float = 1.5
+    net_bw_gbs: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {self.n_nodes}")
+
+    @property
+    def total_cores(self) -> int:
+        """Aggregate core count."""
+        return self.n_nodes * self.node.cores
+
+    @property
+    def total_mem_bytes(self) -> float:
+        """Aggregate memory in bytes."""
+        return self.n_nodes * self.node.mem_bytes
+
+    def grid_shape(self) -> tuple[int, int]:
+        """Near-square 2-D process grid ``(pr, pc)`` with ``pr*pc == n_nodes``.
+
+        The 2-D block-cyclic distribution used by Chameleon/HiCMA maps
+        tile ``(i, j)`` to node ``(i mod pr, j mod pc)``.
+        """
+        pr = int(self.n_nodes**0.5)
+        while self.n_nodes % pr != 0:
+            pr -= 1
+        return pr, self.n_nodes // pr
+
+
+def shaheen2(n_nodes: int = 256) -> ClusterSpec:
+    """Shaheen-2 Cray XC40 allocation of ``n_nodes`` nodes."""
+    return ClusterSpec(node=get_machine("shaheen_node"), n_nodes=n_nodes)

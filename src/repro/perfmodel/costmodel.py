@@ -1,0 +1,64 @@
+"""Roofline task costs: compute-bound vs memory-bound kernel times.
+
+Each kernel's time on a machine is ``max(flops / sustained_flops,
+bytes / memory_bandwidth)`` — the roofline. Dense tile kernels at the
+paper's tile sizes are firmly compute-bound; TLR kernels have low
+arithmetic intensity and often land on the bandwidth roof, which is
+exactly the regime shift the paper discusses when motivating larger TLR
+tile sizes (nb = 1900 vs 560).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .machine import MachineSpec
+
+__all__ = ["TaskCost", "task_time"]
+
+
+@dataclass(frozen=True)
+class TaskCost:
+    """Flop and byte footprint of one task."""
+
+    flops: float
+    bytes: float
+
+    def __add__(self, other: "TaskCost") -> "TaskCost":
+        return TaskCost(self.flops + other.flops, self.bytes + other.bytes)
+
+    def scaled(self, factor: float) -> "TaskCost":
+        """Cost multiplied by ``factor`` (e.g. a task count)."""
+        return TaskCost(self.flops * factor, self.bytes * factor)
+
+
+def task_time(
+    cost: TaskCost,
+    machine: MachineSpec,
+    *,
+    cores: int = 1,
+    efficiency: float | None = None,
+) -> float:
+    """Roofline execution time of a task on ``cores`` of ``machine``.
+
+    Parameters
+    ----------
+    cost:
+        Flops and bytes of the task.
+    machine:
+        Hardware description.
+    cores:
+        Cores cooperating on this task (tile tasks use 1; aggregate
+        estimates pass the full core count).
+    efficiency:
+        Fraction of peak sustained; defaults to the machine's dense
+        efficiency.
+    """
+    eff = machine.eff_dense if efficiency is None else efficiency
+    per_core_gflops = machine.peak_gflops / machine.cores * eff
+    compute_s = cost.flops / (per_core_gflops * 1e9 * cores)
+    # Bandwidth is shared; a single core can typically draw ~1/4 of the
+    # socket bandwidth, saturating as more cores join.
+    share = min(1.0, max(cores / machine.cores, 0.25))
+    mem_s = cost.bytes / (machine.mem_bw_gbs * 1e9 * share)
+    return max(compute_s, mem_s)

@@ -1,0 +1,102 @@
+"""Shared-memory machine descriptions (paper §VIII-A).
+
+Specs follow the paper's experimental platforms. Peak double-precision
+GFLOP/s is ``cores x GHz x flops-per-cycle``; sustained efficiencies are
+the standard fractions of peak that dense GEMM-dominated tile kernels
+reach in practice (lower on KNL, whose AVX-512 peak is hard to sustain).
+The paper's "Full-block" LAPACK baseline additionally suffers fork-join
+synchronization, modeled as a lower efficiency — this reproduces the
+Full-block > Full-tile ordering of Figure 3 without per-machine tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["MachineSpec", "MACHINES", "get_machine"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A shared-memory compute node.
+
+    Attributes
+    ----------
+    name:
+        Identifier (e.g. ``"haswell"``).
+    cores:
+        Physical cores.
+    freq_ghz:
+        Nominal clock.
+    flops_per_cycle:
+        Double-precision flops per cycle per core (FMA x vector width).
+    eff_dense:
+        Sustained fraction of peak for dense tile kernels (GEMM-bound).
+    eff_block:
+        Sustained fraction of peak for the fork-join LAPACK baseline.
+    eff_lr:
+        Sustained fraction of peak for low-rank (TLR) kernels: skinny
+        GEMMs, thin QRs and small SVDs run far from GEMM efficiency —
+        the paper calls this workload "close to the memory-bound
+        regime". Combined with the bandwidth roof this term reproduces
+        the per-machine speedup ordering of Figure 3 (KNL's high-
+        bandwidth MCDRAM benefits TLR most, Skylake least).
+    mem_bw_gbs:
+        Achievable memory bandwidth, GB/s (STREAM-like).
+    mem_gb:
+        Usable DRAM capacity, GB.
+    """
+
+    name: str
+    cores: int
+    freq_ghz: float
+    flops_per_cycle: int
+    eff_dense: float
+    eff_block: float
+    eff_lr: float
+    mem_bw_gbs: float
+    mem_gb: float
+
+    @property
+    def peak_gflops(self) -> float:
+        """Theoretical double-precision peak, GFLOP/s."""
+        return self.cores * self.freq_ghz * self.flops_per_cycle
+
+    @property
+    def mem_bytes(self) -> float:
+        """Usable memory in bytes."""
+        return self.mem_gb * 1e9
+
+    def sustained_gflops(self, efficiency: float) -> float:
+        """Peak scaled by an efficiency fraction."""
+        return self.peak_gflops * efficiency
+
+
+#: The paper's shared-memory platforms (§VIII-A) plus the Shaheen-2 node.
+MACHINES: Dict[str, MachineSpec] = {
+    # Dual-socket 18-core Intel Haswell Xeon E5-2698 v3, 2.3 GHz, AVX2 FMA.
+    "haswell": MachineSpec("haswell", 36, 2.3, 16, 0.80, 0.55, 0.25, 120.0, 256.0),
+    # Dual-socket 14-core Intel Broadwell Xeon E5-2680 v4, 2.4 GHz.
+    "broadwell": MachineSpec("broadwell", 28, 2.4, 16, 0.80, 0.55, 0.36, 130.0, 256.0),
+    # Intel Knights Landing 7210, 64 cores, 1.3 GHz, AVX-512 (2 VPUs).
+    "knl": MachineSpec("knl", 64, 1.3, 32, 0.55, 0.30, 0.33, 380.0, 208.0),
+    # Dual-socket 28-core Intel Skylake Xeon Platinum 8176, 2.1 GHz, AVX-512.
+    "skylake": MachineSpec("skylake", 56, 2.1, 32, 0.75, 0.50, 0.17, 220.0, 256.0),
+    # Dual-socket 8-core Intel Sandy Bridge Xeon E5-2650, 2.0 GHz, AVX.
+    "sandybridge": MachineSpec("sandybridge", 16, 2.0, 8, 0.80, 0.55, 0.25, 70.0, 128.0),
+    # Shaheen-2 Cray XC40 node: dual-socket 16-core Haswell, 2.3 GHz, 128 GB.
+    "shaheen_node": MachineSpec("shaheen_node", 32, 2.3, 16, 0.80, 0.55, 0.25, 115.0, 128.0),
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine preset by name."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+        ) from None

@@ -1,0 +1,37 @@
+"""Task-based runtime system (StarPU substitute; paper §VI).
+
+ExaGeoStat expresses its high-level operations (matrix generation,
+Cholesky, solves, log-determinant) as *tasks* over tile-sized data, and
+lets StarPU infer dependencies from data access modes and execute the DAG
+asynchronously on the available hardware. This subpackage reproduces that
+programming model in pure Python:
+
+* :class:`DataHandle` — a registered piece of data (typically one tile);
+* :class:`AccessMode` — ``READ`` / ``WRITE`` / ``READWRITE`` declarations;
+* :class:`Runtime` — sequential-task-flow insertion with automatic
+  dependency inference and out-of-order execution on a thread pool
+  (numpy/scipy BLAS release the GIL, so tile tasks genuinely overlap);
+* ready-queue policies (FIFO / LIFO / priority) and execution tracing.
+
+A ``serial`` engine executes tasks synchronously at insertion in program
+order, which is always a legal schedule — used for debugging and as a
+determinism oracle in tests.
+"""
+
+from .task import AccessMode, Task, TaskState
+from .handle import DataHandle
+from .executor import Runtime
+from .trace import TraceEvent, TraceRecorder
+from .graph import DependencyTracker, build_networkx_dag
+
+__all__ = [
+    "AccessMode",
+    "Task",
+    "TaskState",
+    "DataHandle",
+    "Runtime",
+    "TraceEvent",
+    "TraceRecorder",
+    "DependencyTracker",
+    "build_networkx_dag",
+]

@@ -1,0 +1,225 @@
+"""The runtime engine: task insertion, dependency resolution, execution.
+
+:class:`Runtime` implements StarPU's sequential-task-flow model on a
+thread pool. ``insert_task`` is non-blocking (with the ``threads``
+engine): it registers accesses, infers dependencies via
+:class:`~repro.runtime.graph.DependencyTracker`, and enqueues the task
+when its dependency count reaches zero. Workers pull from a pluggable
+ready queue; completion cascades decrement dependents' counters.
+
+Error model: a failing codelet marks the task FAILED, cancels nothing
+(already-ready tasks may still run — as in StarPU, data consistency is
+the submitter's problem at that point) but records the exception;
+``wait_all`` re-raises the *first* error so callers cannot silently lose
+failures.
+
+The ``serial`` engine runs each task synchronously inside ``insert_task``
+— program order is always a legal schedule under sequential task flow —
+and is used as the determinism oracle in tests and for debugging.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from ..config import get_config
+from ..exceptions import RuntimeEngineError
+from ..utils.logging import get_logger
+from .graph import DependencyTracker
+from .handle import DataHandle
+from .scheduler import make_queue
+from .task import AccessMode, Task, TaskState
+from .trace import TraceEvent, TraceRecorder
+
+__all__ = ["Runtime"]
+
+logger = get_logger("runtime")
+
+
+class Runtime:
+    """Task runtime with automatic dependency inference.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker threads; ``None``/0 uses the configured default
+        (``Config.resolved_workers``). Ignored by the serial engine.
+    scheduler:
+        Ready-queue policy: ``"fifo"``, ``"lifo"`` or ``"priority"``.
+    engine:
+        ``"threads"`` (asynchronous) or ``"serial"`` (synchronous,
+        deterministic). ``None`` uses the configured default.
+    trace:
+        Record :class:`TraceEvent` rows for every executed task.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.runtime import Runtime, AccessMode
+    >>> with Runtime(num_workers=2) as rt:
+    ...     h = rt.register(np.zeros(4), name="x")
+    ...     def fill(x):
+    ...         x += 1.0
+    ...     t = rt.insert_task(fill, [(h, AccessMode.READWRITE)])
+    ...     rt.wait_all()
+    >>> h.get().tolist()
+    [1.0, 1.0, 1.0, 1.0]
+    """
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        *,
+        scheduler: str = "priority",
+        engine: Optional[str] = None,
+        trace: bool = False,
+    ) -> None:
+        cfg = get_config()
+        self.engine = engine or cfg.runtime_engine
+        if self.engine not in ("threads", "serial"):
+            raise RuntimeEngineError(f"unknown engine {self.engine!r}")
+        self.num_workers = (
+            1 if self.engine == "serial" else (num_workers or cfg.resolved_workers())
+        )
+        self.tracker = DependencyTracker()
+        self.trace: Optional[TraceRecorder] = TraceRecorder() if trace else None
+        self._queue = make_queue(scheduler)
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        self._all_done = threading.Condition(self._lock)
+        self._inflight = 0  # tasks inserted but not finished
+        self._first_error: Optional[BaseException] = None
+        self._shutdown = False
+        self._threads: list[threading.Thread] = []
+        if self.engine == "threads":
+            for i in range(self.num_workers):
+                th = threading.Thread(target=self._worker_loop, args=(i,), daemon=True, name=f"repro-worker-{i}")
+                th.start()
+                self._threads.append(th)
+
+    # -------------------------------------------------------------- public
+    def register(self, payload: Any, name: Optional[str] = None) -> DataHandle:
+        """Register a payload and return its handle."""
+        self._check_alive()
+        return DataHandle(payload, name=name)
+
+    def insert_task(
+        self,
+        fn: Callable[..., Any],
+        accesses: Sequence[Tuple[DataHandle, AccessMode]],
+        *,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[dict] = None,
+        name: Optional[str] = None,
+        priority: int = 0,
+    ) -> Task:
+        """Submit a task; returns immediately with the ``threads`` engine.
+
+        Dependencies on previously inserted tasks are inferred from the
+        access declarations (sequential-task-flow semantics).
+        """
+        self._check_alive()
+        task = Task(fn, accesses, args=args, kwargs=kwargs, name=name, priority=priority)
+        if self.engine == "serial":
+            self.tracker.register(task)
+            self._run_task(task, worker=0)
+            if task.error is not None and self._first_error is None:
+                self._first_error = task.error
+            return task
+        with self._lock:
+            deps = self.tracker.register(task)
+            open_deps = [d for d in deps if d.state not in (TaskState.DONE, TaskState.FAILED)]
+            task.unresolved = len(open_deps)
+            for d in open_deps:
+                d.dependents.append(task)
+            self._inflight += 1
+            if task.unresolved == 0:
+                task.state = TaskState.READY
+                self._queue.push(task)
+                self._work_available.notify()
+        return task
+
+    def wait_all(self) -> None:
+        """Block until every inserted task finished; re-raise first error."""
+        if self.engine == "serial":
+            self._raise_pending()
+            return
+        with self._lock:
+            while self._inflight > 0:
+                self._all_done.wait(timeout=0.5)
+        self._raise_pending()
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop the workers. The runtime cannot be reused afterwards."""
+        if self._shutdown:
+            return
+        if wait and self.engine == "threads":
+            with self._lock:
+                while self._inflight > 0:
+                    self._all_done.wait(timeout=0.5)
+        with self._lock:
+            self._shutdown = True
+            self._work_available.notify_all()
+        for th in self._threads:
+            th.join(timeout=5.0)
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------ internals
+    def _check_alive(self) -> None:
+        if self._shutdown:
+            raise RuntimeEngineError("runtime has been shut down")
+
+    def _raise_pending(self) -> None:
+        err = self._first_error
+        if err is not None:
+            self._first_error = None
+            raise err
+
+    def _worker_loop(self, worker_id: int) -> None:
+        while True:
+            with self._lock:
+                task = self._queue.pop()
+                while task is None and not self._shutdown:
+                    self._work_available.wait(timeout=0.2)
+                    task = self._queue.pop()
+                if task is None and self._shutdown:
+                    return
+            assert task is not None
+            self._run_task(task, worker=worker_id)
+            with self._lock:
+                for dep in task.dependents:
+                    dep.unresolved -= 1
+                    if dep.unresolved == 0:
+                        dep.state = TaskState.READY
+                        self._queue.push(dep)
+                        self._work_available.notify()
+                if task.error is not None and self._first_error is None:
+                    self._first_error = task.error
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._all_done.notify_all()
+
+    def _run_task(self, task: Task, worker: int) -> None:
+        task.state = TaskState.RUNNING
+        task.worker = worker
+        task.t_start = time.perf_counter()
+        try:
+            task.result = task.execute()
+            task.state = TaskState.DONE
+        except BaseException as exc:  # noqa: BLE001 - error channel, re-raised in wait_all
+            task.error = exc
+            task.state = TaskState.FAILED
+            logger.debug("task %s failed: %r", task.name, exc)
+        finally:
+            task.t_end = time.perf_counter()
+            if self.trace is not None:
+                self.trace.record(
+                    TraceEvent(task.id, task.name, worker, task.t_start, task.t_end)
+                )

@@ -1,0 +1,101 @@
+"""Automatic dependency inference (sequential task flow).
+
+StarPU's central contract: tasks submitted in program order with declared
+access modes behave *as if* executed sequentially. The tracker enforces
+the three hazards on each handle:
+
+* RAW — a reader depends on the last writer;
+* WAR — a writer depends on all readers since the last write;
+* WAW — a writer depends on the last writer.
+
+Concurrent readers are allowed. The resulting DAG can be exported as a
+:mod:`networkx` digraph for analysis (critical path, visualization,
+property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+import networkx as nx
+
+from .task import AccessMode, Task
+
+__all__ = ["DependencyTracker", "build_networkx_dag", "critical_path_length"]
+
+
+class DependencyTracker:
+    """Infers task dependencies from handle access declarations.
+
+    Not thread-safe by itself; the runtime serializes :meth:`register`
+    calls under its insertion lock (insertion order *is* program order —
+    that is what gives sequential-task-flow semantics).
+    """
+
+    def __init__(self) -> None:
+        self.tasks: List[Task] = []
+
+    def register(self, task: Task) -> Set[Task]:
+        """Record ``task`` and return its direct dependencies.
+
+        Updates per-handle reader/writer bookkeeping as a side effect.
+        """
+        deps: Set[Task] = set()
+        for handle, mode in task.accesses:
+            if mode is AccessMode.READ:
+                if handle.last_writer is not None:
+                    deps.add(handle.last_writer)  # RAW
+                handle.readers.append(task)
+            else:
+                if handle.last_writer is not None:
+                    deps.add(handle.last_writer)  # WAW
+                deps.update(handle.readers)  # WAR
+                handle.last_writer = task
+                handle.readers = []
+        deps.discard(task)
+        task.deps = {d.id for d in deps}
+        self.tasks.append(task)
+        return deps
+
+    def reset(self) -> None:
+        """Forget all recorded tasks (handles keep their payloads)."""
+        for task in self.tasks:
+            for handle, _ in task.accesses:
+                handle.last_writer = None
+                handle.readers = []
+        self.tasks.clear()
+
+
+def build_networkx_dag(tasks: Iterable[Task]) -> "nx.DiGraph":
+    """Build a networkx DiGraph of the task DAG.
+
+    Nodes are task ids with ``name``, ``priority`` and ``duration``
+    attributes; edges point from dependency to dependent.
+    """
+    g = nx.DiGraph()
+    tasks = list(tasks)
+    by_id: Dict[int, Task] = {t.id: t for t in tasks}
+    for t in tasks:
+        g.add_node(t.id, name=t.name, priority=t.priority, duration=t.duration)
+    for t in tasks:
+        for dep in t.deps:
+            if dep in by_id:
+                g.add_edge(dep, t.id)
+    return g
+
+
+def critical_path_length(tasks: Iterable[Task]) -> float:
+    """Sum of task durations along the longest (time-weighted) path.
+
+    Useful lower bound on any parallel schedule's makespan; tests compare
+    it against measured makespans and against the performance model.
+    """
+    g = build_networkx_dag(tasks)
+    if g.number_of_nodes() == 0:
+        return 0.0
+    dist: Dict[int, float] = {}
+    for node in nx.topological_sort(g):
+        d = g.nodes[node]["duration"]
+        preds = list(g.predecessors(node))
+        dist[node] = d + (max(dist[p] for p in preds) if preds else 0.0)
+    return max(dist.values())

@@ -1,0 +1,111 @@
+"""Ready-queue policies for the runtime.
+
+When several tasks are simultaneously ready, the policy decides execution
+order. The paper's stack relies on StarPU's schedulers; here we provide
+the three canonical policies and an ablation bench compares them:
+
+* ``fifo`` — submission order (StarPU ``eager``);
+* ``lifo`` — newest first (depth-first; smaller working set);
+* ``priority`` — user priority, ties broken by submission order
+  (Chameleon/HiCMA mark panel tasks high-priority to shorten the
+  critical path).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Optional, Protocol
+
+from .task import Task
+
+__all__ = ["ReadyQueue", "FifoQueue", "LifoQueue", "PriorityReadyQueue", "make_queue"]
+
+
+class ReadyQueue(Protocol):
+    """Minimal interface the executor needs from a ready queue."""
+
+    def push(self, task: Task) -> None:
+        """Add a ready task."""
+        ...
+
+    def pop(self) -> Optional[Task]:
+        """Remove and return the next task, or ``None`` when empty."""
+        ...
+
+    def __len__(self) -> int: ...
+
+
+class FifoQueue:
+    """First-in, first-out ready queue (StarPU's ``eager``)."""
+
+    def __init__(self) -> None:
+        self._q: deque[Task] = deque()
+
+    def push(self, task: Task) -> None:
+        self._q.append(task)
+
+    def pop(self) -> Optional[Task]:
+        return self._q.popleft() if self._q else None
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class LifoQueue:
+    """Last-in, first-out ready queue (depth-first execution)."""
+
+    def __init__(self) -> None:
+        self._q: list[Task] = []
+
+    def push(self, task: Task) -> None:
+        self._q.append(task)
+
+    def pop(self) -> Optional[Task]:
+        return self._q.pop() if self._q else None
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class PriorityReadyQueue:
+    """Max-priority queue; ties broken FIFO by insertion sequence."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Task]] = []
+        self._seq = 0
+
+    def push(self, task: Task) -> None:
+        heapq.heappush(self._heap, (-task.priority, self._seq, task))
+        self._seq += 1
+
+    def pop(self) -> Optional[Task]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+_POLICIES = {
+    "fifo": FifoQueue,
+    "lifo": LifoQueue,
+    "priority": PriorityReadyQueue,
+}
+
+
+def make_queue(policy: str) -> ReadyQueue:
+    """Instantiate a ready queue by policy name.
+
+    Parameters
+    ----------
+    policy:
+        ``"fifo"``, ``"lifo"`` or ``"priority"``.
+    """
+    try:
+        return _POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler policy {policy!r}; expected one of {sorted(_POLICIES)}"
+        ) from None

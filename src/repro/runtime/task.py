@@ -1,0 +1,141 @@
+"""Task and access-mode primitives for the runtime.
+
+A task is a codelet (plain Python callable) bound to a list of
+``(DataHandle, AccessMode)`` pairs. The callable receives the handles'
+*payloads* (not the handles) in declaration order, so codelets are
+ordinary functions operating on numpy arrays / tile objects and can be
+unit-tested without any runtime.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .handle import DataHandle
+
+__all__ = ["AccessMode", "Task", "TaskState"]
+
+_task_counter = itertools.count()
+
+
+class AccessMode(enum.Enum):
+    """How a task accesses a data handle (StarPU's R/W/RW).
+
+    ``READ`` accesses may run concurrently; ``WRITE`` and ``READWRITE``
+    accesses are exclusive and order against all other accesses of the
+    same handle (read-after-write, write-after-read, write-after-write).
+    """
+
+    READ = "R"
+    WRITE = "W"
+    READWRITE = "RW"
+
+    @property
+    def writes(self) -> bool:
+        """True when the mode modifies the handle's payload."""
+        return self is not AccessMode.READ
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task inside the runtime."""
+
+    PENDING = "pending"  # inserted, dependencies unresolved
+    READY = "ready"  # all dependencies satisfied, queued
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Task:
+    """A unit of work over registered data.
+
+    Parameters
+    ----------
+    fn:
+        The codelet. Called as ``fn(*payloads, *args, **kwargs)`` where
+        ``payloads`` are the current payloads of the accessed handles in
+        declaration order.
+    accesses:
+        Sequence of ``(handle, mode)`` pairs.
+    args, kwargs:
+        Extra positional/keyword arguments forwarded to ``fn`` after the
+        payloads (e.g. an accuracy threshold).
+    name:
+        Label used in traces; defaults to the codelet's ``__name__``.
+    priority:
+        Larger runs earlier under the ``priority`` ready-queue policy.
+        Tile Cholesky assigns higher priority to critical-path (panel)
+        tasks, mirroring Chameleon/HiCMA.
+    """
+
+    __slots__ = (
+        "id",
+        "fn",
+        "accesses",
+        "args",
+        "kwargs",
+        "name",
+        "priority",
+        "state",
+        "deps",
+        "dependents",
+        "unresolved",
+        "result",
+        "error",
+        "t_start",
+        "t_end",
+        "worker",
+    )
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        accesses: Sequence[Tuple[DataHandle, AccessMode]],
+        *,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        name: Optional[str] = None,
+        priority: int = 0,
+    ) -> None:
+        self.id: int = next(_task_counter)
+        self.fn = fn
+        self.accesses: List[Tuple[DataHandle, AccessMode]] = list(accesses)
+        for handle, mode in self.accesses:
+            if not isinstance(handle, DataHandle):
+                raise TypeError(f"expected DataHandle, got {type(handle).__name__}")
+            if not isinstance(mode, AccessMode):
+                raise TypeError(f"expected AccessMode, got {type(mode).__name__}")
+        self.args = tuple(args)
+        self.kwargs = dict(kwargs or {})
+        self.name = name or getattr(fn, "__name__", "task")
+        self.priority = int(priority)
+        self.state = TaskState.PENDING
+        self.deps: set[int] = set()
+        self.dependents: List["Task"] = []
+        self.unresolved = 0
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.t_start = 0.0
+        self.t_end = 0.0
+        self.worker = -1
+
+    def payloads(self) -> List[Any]:
+        """Current payloads of the accessed handles, in declaration order."""
+        return [handle.get() for handle, _ in self.accesses]
+
+    def execute(self) -> Any:
+        """Run the codelet synchronously (used by the engines).
+
+        Does not manage state transitions; the executor owns those.
+        """
+        return self.fn(*self.payloads(), *self.args, **self.kwargs)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds spent executing (0 until finished)."""
+        return max(0.0, self.t_end - self.t_start)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Task(#{self.id} {self.name!r} {self.state.value})"

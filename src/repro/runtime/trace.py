@@ -1,0 +1,89 @@
+"""Execution tracing for the runtime.
+
+Records per-task (worker, start, end) triples so tests and ablations can
+compute utilization, per-codelet time breakdowns, and Gantt-style rows —
+the information StarPU exposes through its FxT traces.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed task occurrence."""
+
+    task_id: int
+    name: str
+    worker: int
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        """Seconds spent executing."""
+        return self.t_end - self.t_start
+
+
+class TraceRecorder:
+    """Thread-safe accumulator of :class:`TraceEvent` records."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._lock = threading.Lock()
+
+    def record(self, event: TraceEvent) -> None:
+        """Append one event (called from worker threads)."""
+        with self._lock:
+            self._events.append(event)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Snapshot of recorded events (sorted by start time)."""
+        with self._lock:
+            return sorted(self._events, key=lambda e: e.t_start)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        with self._lock:
+            self._events.clear()
+
+    # ------------------------------------------------------------ analysis
+    def makespan(self) -> float:
+        """Wall-clock span from first start to last end (0 if empty)."""
+        ev = self.events
+        if not ev:
+            return 0.0
+        return max(e.t_end for e in ev) - min(e.t_start for e in ev)
+
+    def busy_time(self) -> float:
+        """Total task execution time summed over workers."""
+        return sum(e.duration for e in self.events)
+
+    def utilization(self, num_workers: int) -> float:
+        """Fraction of worker-seconds spent executing tasks, in [0, 1]."""
+        span = self.makespan()
+        if span <= 0.0 or num_workers <= 0:
+            return 0.0
+        return min(1.0, self.busy_time() / (span * num_workers))
+
+    def by_codelet(self) -> Dict[str, Tuple[int, float]]:
+        """Per-codelet ``(count, total_seconds)`` summary."""
+        out: Dict[str, Tuple[int, float]] = {}
+        for e in self.events:
+            count, total = out.get(e.name, (0, 0.0))
+            out[e.name] = (count + 1, total + e.duration)
+        return out
+
+    def gantt_rows(self) -> List[Tuple[int, str, float, float]]:
+        """``(worker, name, start, end)`` rows, normalized to t0 = 0."""
+        ev = self.events
+        if not ev:
+            return []
+        t0 = min(e.t_start for e in ev)
+        return [(e.worker, e.name, e.t_start - t0, e.t_end - t0) for e in ev]

@@ -1,0 +1,28 @@
+"""Shared utilities: validation, timing, logging, and RNG management."""
+
+from .validation import (
+    as_float_array,
+    check_locations,
+    check_positive,
+    check_square,
+    check_symmetric,
+    check_vector,
+)
+from .timer import Stopwatch, StageTimes, timed
+from .rng import as_generator, spawn_generators
+from .logging import get_logger
+
+__all__ = [
+    "as_float_array",
+    "check_locations",
+    "check_positive",
+    "check_square",
+    "check_symmetric",
+    "check_vector",
+    "Stopwatch",
+    "StageTimes",
+    "timed",
+    "as_generator",
+    "spawn_generators",
+    "get_logger",
+]

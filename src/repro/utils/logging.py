@@ -1,0 +1,44 @@
+"""Lightweight logging configured from the ``REPRO_LOG`` environment variable.
+
+Set ``REPRO_LOG=DEBUG`` (or INFO/WARNING) to see runtime scheduling and MLE
+iteration traces without configuring the stdlib logging tree yourself.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+__all__ = ["get_logger"]
+
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    level_name = os.environ.get("REPRO_LOG", "WARNING").upper()
+    level = getattr(logging, level_name, logging.WARNING)
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+    )
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not root.handlers:
+        root.addHandler(handler)
+    root.propagate = False
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Dotted suffix, e.g. ``"runtime"`` yields logger ``repro.runtime``.
+    """
+    _configure_root()
+    return logging.getLogger(f"repro.{name}")

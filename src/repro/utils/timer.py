@@ -1,0 +1,96 @@
+"""Timing utilities used by the MLE drivers and the benchmark harness.
+
+The paper reports the time of *one iteration* of the MLE optimization,
+broken down implicitly into covariance generation, factorization, solve,
+and log-determinant stages. :class:`StageTimes` accumulates named stage
+durations so evaluators can report the same decomposition.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["Stopwatch", "StageTimes", "timed"]
+
+
+class Stopwatch:
+    """A simple cumulative stopwatch based on ``time.perf_counter``.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.calls = 0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed += time.perf_counter() - self._t0
+        self.calls += 1
+
+    def reset(self) -> None:
+        """Zero the accumulated time and call count."""
+        self.elapsed = 0.0
+        self.calls = 0
+
+
+@dataclass
+class StageTimes:
+    """Named cumulative stage timings (seconds).
+
+    Used by likelihood evaluators to report generation / factorization /
+    solve / logdet breakdowns per iteration.
+    """
+
+    stages: Dict[str, float] = field(default_factory=dict)
+
+    @contextlib.contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager accumulating wall time into stage ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) + time.perf_counter() - t0
+
+    def total(self) -> float:
+        """Sum of all recorded stages."""
+        return float(sum(self.stages.values()))
+
+    def merged_with(self, other: "StageTimes") -> "StageTimes":
+        """Return a new :class:`StageTimes` adding ``other``'s stages."""
+        out = StageTimes(dict(self.stages))
+        for k, v in other.stages.items():
+            out.stages[k] = out.stages.get(k, 0.0) + v
+        return out
+
+    def as_row(self) -> Dict[str, float]:
+        """Stages plus a ``total`` key, suitable for tabulation."""
+        row = dict(self.stages)
+        row["total"] = self.total()
+        return row
+
+
+@contextlib.contextmanager
+def timed() -> Iterator[Stopwatch]:
+    """Time a block and expose the elapsed seconds.
+
+    >>> with timed() as sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+    sw = Stopwatch()
+    with sw:
+        yield sw

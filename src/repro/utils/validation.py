@@ -1,0 +1,95 @@
+"""Argument validation helpers.
+
+All public entry points of the library validate their inputs through these
+helpers so error messages are consistent and informative. The helpers
+return the validated (and possibly converted) value to allow chaining.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = [
+    "as_float_array",
+    "check_positive",
+    "check_square",
+    "check_symmetric",
+    "check_vector",
+    "check_locations",
+]
+
+
+def as_float_array(x: object, name: str = "array", *, copy: bool = False) -> np.ndarray:
+    """Convert ``x`` to a C-contiguous float64 ndarray.
+
+    Parameters
+    ----------
+    x:
+        Anything :func:`numpy.asarray` accepts.
+    name:
+        Name used in error messages.
+    copy:
+        Force a copy even when ``x`` is already a float64 array.
+    """
+    arr = np.array(x, dtype=np.float64, copy=copy, order="C") if copy else np.ascontiguousarray(
+        np.asarray(x, dtype=np.float64)
+    )
+    if not np.all(np.isfinite(arr)):
+        raise ShapeError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that a scalar parameter is positive (or non-negative)."""
+    v = float(value)
+    if strict and not v > 0:
+        raise ShapeError(f"{name} must be > 0, got {v}")
+    if not strict and v < 0:
+        raise ShapeError(f"{name} must be >= 0, got {v}")
+    return v
+
+
+def check_square(a: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that ``a`` is a square 2-D array."""
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ShapeError(f"{name} must be square 2-D, got shape {a.shape}")
+    return a
+
+
+def check_symmetric(a: np.ndarray, name: str = "matrix", *, atol: float = 1e-8) -> np.ndarray:
+    """Validate that ``a`` is numerically symmetric."""
+    check_square(a, name)
+    if not np.allclose(a, a.T, atol=atol):
+        raise ShapeError(f"{name} must be symmetric (atol={atol})")
+    return a
+
+
+def check_vector(v: np.ndarray, n: Optional[int] = None, name: str = "vector") -> np.ndarray:
+    """Validate that ``v`` is 1-D, optionally of length ``n``."""
+    if v.ndim != 1:
+        raise ShapeError(f"{name} must be 1-D, got shape {v.shape}")
+    if n is not None and v.shape[0] != n:
+        raise ShapeError(f"{name} must have length {n}, got {v.shape[0]}")
+    return v
+
+
+def check_locations(x: object, name: str = "locations") -> np.ndarray:
+    """Validate an ``(n, d)`` array of spatial locations with d in {1, 2, 3}.
+
+    A 1-D array is promoted to a single-column matrix.
+    """
+    arr = as_float_array(x, name)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be (n, d), got shape {arr.shape}")
+    n, d = arr.shape
+    if n == 0:
+        raise ShapeError(f"{name} must contain at least one point")
+    if d not in (1, 2, 3):
+        raise ShapeError(f"{name} must have 1-3 coordinates per point, got {d}")
+    return arr

@@ -1,0 +1,10 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: Version of the paper's software stack this package reproduces.
+PAPER = (
+    "Abdulah, Ltaief, Sun, Genton, Keyes — Parallel Approximation of the "
+    "Maximum Likelihood Estimation for the Prediction of Large-Scale "
+    "Geostatistics Simulations, IEEE CLUSTER 2018 (arXiv:1804.09137)"
+)

@@ -1,0 +1,51 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.data import generate_irregular_grid, sample_gaussian_field, sort_locations
+from repro.kernels import MaternCovariance
+
+# Keep property tests fast and robust under shared-CI load.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def small_locations() -> np.ndarray:
+    """256 Morton-ordered irregular-grid locations on the unit square."""
+    locs = generate_irregular_grid(256, seed=42)
+    locs, _, _ = sort_locations(locs)
+    return locs
+
+
+@pytest.fixture(scope="session")
+def matern_model() -> MaternCovariance:
+    """Medium-correlation rough Matérn model, the paper's workhorse."""
+    return MaternCovariance(1.0, 0.1, 0.5)
+
+
+@pytest.fixture(scope="session")
+def small_sigma(small_locations, matern_model) -> np.ndarray:
+    """Exact covariance of the small location set."""
+    return matern_model.matrix(small_locations)
+
+
+@pytest.fixture(scope="session")
+def small_field(small_locations, matern_model) -> np.ndarray:
+    """One exact GP realization over the small location set."""
+    return sample_gaussian_field(small_locations, matern_model, seed=7)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(123)

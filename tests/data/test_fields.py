@@ -1,0 +1,62 @@
+"""Tests for exact Gaussian-random-field sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.fields import sample_gaussian_field
+from repro.data.synthetic import generate_irregular_grid
+from repro.exceptions import NotPositiveDefiniteError
+from repro.kernels import MaternCovariance
+
+
+class TestSampling:
+    def test_single_sample_shape(self, small_locations, matern_model):
+        z = sample_gaussian_field(small_locations, matern_model, seed=0)
+        assert z.shape == (small_locations.shape[0],)
+
+    def test_multi_sample_shape(self, small_locations, matern_model):
+        z = sample_gaussian_field(small_locations, matern_model, seed=0, n_samples=5)
+        assert z.shape == (5, small_locations.shape[0])
+
+    def test_reproducible(self, small_locations, matern_model):
+        a = sample_gaussian_field(small_locations, matern_model, seed=3)
+        b = sample_gaussian_field(small_locations, matern_model, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_mean_offset(self, small_locations, matern_model):
+        z0 = sample_gaussian_field(small_locations, matern_model, seed=4)
+        z5 = sample_gaussian_field(small_locations, matern_model, seed=4, mean=5.0)
+        np.testing.assert_allclose(z5 - z0, 5.0, atol=1e-10)
+
+    def test_marginal_variance_statistics(self):
+        # With many replicates at a handful of points, the sample variance
+        # should approach theta1.
+        locs = generate_irregular_grid(16, seed=0)
+        model = MaternCovariance(2.5, 0.1, 0.5)
+        z = sample_gaussian_field(locs, model, seed=1, n_samples=4000)
+        var = z.var(axis=0)
+        np.testing.assert_allclose(var, 2.5, rtol=0.15)
+
+    def test_correlation_structure(self):
+        # Strongly correlated nearby points must have high sample correlation.
+        locs = np.array([[0.5, 0.5], [0.5001, 0.5], [0.95, 0.05]])
+        model = MaternCovariance(1.0, 0.3, 0.5)
+        z = sample_gaussian_field(locs, model, seed=2, n_samples=3000)
+        corr = np.corrcoef(z.T)
+        assert corr[0, 1] > 0.99
+        assert corr[0, 2] < corr[0, 1]
+
+    def test_duplicate_points_need_jitter(self):
+        locs = np.array([[0.1, 0.1], [0.1, 0.1], [0.5, 0.5]])
+        model = MaternCovariance(1.0, 0.1, 0.5)
+        with pytest.raises(NotPositiveDefiniteError):
+            sample_gaussian_field(locs, model, seed=0, jitter=0.0)
+        # Jitter rescues the degenerate case.
+        z = sample_gaussian_field(locs, model, seed=0, jitter=1e-8)
+        assert z.shape == (3,)
+
+    def test_invalid_n_samples(self, small_locations, matern_model):
+        with pytest.raises(ValueError):
+            sample_gaussian_field(small_locations, matern_model, n_samples=0)

@@ -1,0 +1,94 @@
+"""Tests for Morton (Z-order) ordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.morton import morton_keys, morton_order, sort_locations
+
+
+class TestMortonKeys:
+    def test_keys_shape_dtype(self, rng):
+        pts = rng.random((50, 2))
+        keys = morton_keys(pts)
+        assert keys.shape == (50,)
+        assert keys.dtype == np.int64
+        assert np.all(keys >= 0)
+
+    def test_interleaving_exact_small_grid(self):
+        # Unit 2x2 grid: Z-order visits (0,0), (1,0), (0,1), (1,1).
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        keys = morton_keys(pts, bits=1)
+        assert keys.tolist() == [0, 1, 2, 3]
+
+    def test_1d_and_3d(self, rng):
+        k1 = morton_keys(rng.random((20, 1)))
+        assert k1.shape == (20,)
+        k3 = morton_keys(rng.random((20, 3)), bits=8)
+        assert k3.shape == (20,)
+        assert np.all(k3 >= 0)
+
+    def test_bits_validation(self, rng):
+        with pytest.raises(ValueError):
+            morton_keys(rng.random((5, 2)), bits=0)
+        with pytest.raises(ValueError):
+            morton_keys(rng.random((5, 2)), bits=17)
+
+    def test_degenerate_constant_coordinate(self):
+        pts = np.column_stack([np.linspace(0, 1, 10), np.full(10, 0.3)])
+        keys = morton_keys(pts)
+        # Must not divide by zero; ordering follows the varying coordinate.
+        assert np.all(np.diff(keys) >= 0)
+
+
+class TestMortonOrder:
+    def test_is_permutation(self, rng):
+        pts = rng.random((64, 2))
+        perm = morton_order(pts)
+        assert sorted(perm.tolist()) == list(range(64))
+
+    def test_deterministic(self, rng):
+        pts = rng.random((64, 2))
+        np.testing.assert_array_equal(morton_order(pts), morton_order(pts))
+
+    def test_locality_improves_over_random(self, rng):
+        # Mean consecutive-point distance along the curve should beat a
+        # random ordering by a wide margin for gridded points.
+        from repro.data.synthetic import generate_irregular_grid
+
+        pts = generate_irregular_grid(400, seed=0)
+        ordered = pts[morton_order(pts)]
+        shuffled = pts[rng.permutation(400)]
+
+        def mean_step(p):
+            return float(np.linalg.norm(np.diff(p, axis=0), axis=1).mean())
+
+        assert mean_step(ordered) < 0.5 * mean_step(shuffled)
+
+    @given(
+        hnp.arrays(
+            np.float64, st.tuples(st.integers(2, 40), st.just(2)), elements=st.floats(0, 1)
+        )
+    )
+    def test_property_valid_permutation(self, pts):
+        perm = morton_order(pts)
+        assert sorted(perm.tolist()) == list(range(pts.shape[0]))
+
+
+class TestSortLocations:
+    def test_values_follow_points(self, rng):
+        pts = rng.random((30, 2))
+        vals = rng.random(30)
+        spts, svals, perm = sort_locations(pts, vals)
+        np.testing.assert_array_equal(spts, pts[perm])
+        np.testing.assert_array_equal(svals, vals[perm])
+
+    def test_no_values(self, rng):
+        pts = rng.random((30, 2))
+        spts, svals, perm = sort_locations(pts)
+        assert svals is None
+        assert spts.shape == pts.shape

@@ -1,0 +1,140 @@
+"""Tests for regions, dataset containers, and the real-data substitutes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import GeoDataset, train_test_split
+from repro.data.regions import Region, partition_bbox, points_in_region
+from repro.data.soil_moisture import (
+    SOIL_MOISTURE_BBOX,
+    SOIL_MOISTURE_REGION_THETA,
+    SoilMoistureGenerator,
+    make_soil_moisture_dataset,
+)
+from repro.data.wind_speed import (
+    WIND_SPEED_BBOX,
+    WIND_SPEED_REGION_THETA,
+    WindSpeedGenerator,
+    make_wind_speed_dataset,
+)
+from repro.exceptions import ShapeError
+
+
+class TestRegion:
+    def test_contains_and_center(self):
+        r = Region("R1", 0.0, 10.0, 0.0, 5.0)
+        assert r.center == (5.0, 2.5)
+        assert r.area == 50.0
+        assert bool(r.contains(np.array(5.0), np.array(2.0)))
+        assert not bool(r.contains(np.array(11.0), np.array(2.0)))
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ShapeError):
+            Region("bad", 1.0, 1.0, 0.0, 1.0)
+
+    def test_partition_covers_bbox(self):
+        regions = partition_bbox((0.0, 8.0, 0.0, 4.0), nx=4, ny=2)
+        assert len(regions) == 8
+        assert [r.name for r in regions] == [f"R{i}" for i in range(1, 9)]
+        total_area = sum(r.area for r in regions)
+        assert total_area == pytest.approx(32.0)
+
+    def test_points_in_region(self, rng):
+        regions = partition_bbox((0.0, 1.0, 0.0, 1.0), 2, 2)
+        pts = rng.random((200, 2))
+        counts = sum(len(points_in_region(pts, r)) for r in regions)
+        # Interior points belong to >= 1 region (closed boxes share edges).
+        assert counts >= 200
+
+
+class TestGeoDataset:
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            GeoDataset(rng.random((10, 2)), rng.random(9))
+
+    def test_subset_and_subsample(self, rng):
+        ds = GeoDataset(rng.random((50, 2)), rng.random(50), name="d")
+        sub = ds.subset(np.arange(10))
+        assert sub.n == 10
+        samp = ds.subsample(20, seed=0)
+        assert samp.n == 20
+        with pytest.raises(ShapeError):
+            ds.subsample(51)
+
+    def test_train_test_split(self, rng):
+        ds = GeoDataset(rng.random((400, 2)), rng.random(400))
+        train, test = train_test_split(ds, 38, seed=0)
+        assert train.n == 362 and test.n == 38
+        combined = np.vstack([train.locations, test.locations])
+        assert len(np.unique(combined, axis=0)) == 400
+
+    def test_split_bounds(self, rng):
+        ds = GeoDataset(rng.random((10, 2)), rng.random(10))
+        with pytest.raises(ShapeError):
+            train_test_split(ds, 10)
+        with pytest.raises(ShapeError):
+            train_test_split(ds, 0)
+
+
+class TestSoilMoisture:
+    def test_region_constants_match_paper_table1(self):
+        assert SOIL_MOISTURE_REGION_THETA["R1"] == (0.852, 5.994, 0.559)
+        assert SOIL_MOISTURE_REGION_THETA["R8"] == (0.906, 27.861, 0.461)
+        assert len(SOIL_MOISTURE_REGION_THETA) == 8
+
+    def test_regions_tile_the_basin(self):
+        gen = SoilMoistureGenerator()
+        regions = gen.regions()
+        assert len(regions) == 8
+        lon_min, lon_max, lat_min, lat_max = SOIL_MOISTURE_BBOX
+        assert min(r.lon_min for r in regions) == lon_min
+        assert max(r.lon_max for r in regions) == lon_max
+
+    def test_dataset_generation(self):
+        ds = make_soil_moisture_dataset("R3", n=150, seed=0)
+        assert ds.n == 150
+        assert ds.metric == "gcd"
+        np.testing.assert_allclose(ds.meta["theta_true"], (0.277, 10.878, 0.507))
+        region = ds.meta["region"]
+        assert np.all(region.contains(ds.locations[:, 0], ds.locations[:, 1]))
+
+    def test_variance_scale(self):
+        # The spatial sample variance underestimates theta1 when the
+        # correlation range (~6 deg) rivals the region size — it must
+        # still be positive and bounded by the marginal variance regime.
+        ds = make_soil_moisture_dataset("R1", n=600, seed=1)
+        assert 0.005 < ds.values.var() < 3.0
+
+    def test_unknown_region(self):
+        with pytest.raises(KeyError):
+            make_soil_moisture_dataset("R9")
+
+    def test_all_regions_independent(self):
+        gen = SoilMoistureGenerator(points_per_region=60)
+        data = gen.all_regions(seed=5)
+        assert set(data) == set(SOIL_MOISTURE_REGION_THETA)
+        assert not np.array_equal(data["R1"].values, data["R2"].values[: data["R1"].n])
+
+
+class TestWindSpeed:
+    def test_region_constants_match_paper_table2(self):
+        assert WIND_SPEED_REGION_THETA["R1"] == (8.715, 32.083, 1.210)
+        assert len(WIND_SPEED_REGION_THETA) == 4
+
+    def test_dataset_generation(self):
+        ds = make_wind_speed_dataset("R2", n=120, seed=0)
+        assert ds.n == 120 and ds.metric == "gcd"
+        lon_min, lon_max, lat_min, lat_max = WIND_SPEED_BBOX
+        assert ds.locations[:, 0].min() >= lon_min
+        assert ds.locations[:, 0].max() <= lon_max
+
+    def test_smoother_than_soil(self):
+        # Wind truth smoothness > 1 vs soil ~0.5 (Table II vs Table I).
+        assert all(t[2] > 1.0 for t in WIND_SPEED_REGION_THETA.values())
+        assert all(t[2] < 0.6 for t in SOIL_MOISTURE_REGION_THETA.values())
+
+    def test_unknown_region(self):
+        with pytest.raises(KeyError):
+            make_wind_speed_dataset("R5")

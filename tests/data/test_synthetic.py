@@ -1,0 +1,81 @@
+"""Tests for the paper's synthetic location generator (§VII, Fig. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.synthetic import generate_irregular_grid, generate_uniform_locations
+from repro.exceptions import ShapeError
+from repro.kernels.distance import euclidean_distance_matrix
+
+
+class TestIrregularGrid:
+    def test_shape_and_bounds(self):
+        pts = generate_irregular_grid(400, seed=0)
+        assert pts.shape == (400, 2)
+        assert np.all(pts > 0.0) and np.all(pts < 1.0)
+
+    def test_perfect_square_one_point_per_cell(self):
+        n = 25 * 25
+        pts = generate_irregular_grid(n, seed=1)
+        cells = np.floor(pts * 25).astype(int)
+        np.clip(cells, 0, 24, out=cells)
+        ids = cells[:, 0] * 25 + cells[:, 1]
+        # Jitter < 0.5 cells: each grid cell contains exactly its own point.
+        assert len(np.unique(ids)) == n
+
+    def test_no_two_points_too_close(self):
+        pts = generate_irregular_grid(400, seed=2)
+        d = euclidean_distance_matrix(pts)
+        np.fill_diagonal(d, np.inf)
+        # Adjacent cell centers are 1/20 apart; jitter 0.4 leaves >= 0.2 cells.
+        assert d.min() >= 0.2 / 20 - 1e-9
+
+    def test_zero_jitter_gives_regular_grid(self):
+        pts = generate_irregular_grid(16, seed=3, jitter=0.0)
+        expect = (np.arange(1, 5) - 0.5) / 4
+        np.testing.assert_allclose(np.unique(pts[:, 0]), expect, atol=1e-12)
+        np.testing.assert_allclose(np.unique(pts[:, 1]), expect, atol=1e-12)
+
+    def test_non_square_n(self):
+        pts = generate_irregular_grid(500, seed=4)
+        assert pts.shape == (500, 2)
+        assert len(np.unique(pts, axis=0)) == 500
+
+    def test_reproducible(self):
+        a = generate_irregular_grid(100, seed=5)
+        b = generate_irregular_grid(100, seed=5)
+        np.testing.assert_array_equal(a, b)
+        c = generate_irregular_grid(100, seed=6)
+        assert not np.array_equal(a, c)
+
+    def test_invalid_args(self):
+        with pytest.raises(ShapeError):
+            generate_irregular_grid(0)
+        with pytest.raises(ShapeError):
+            generate_irregular_grid(10, jitter=0.5)
+        with pytest.raises(ShapeError):
+            generate_irregular_grid(10, jitter=-0.1)
+
+    @given(st.integers(1, 300))
+    def test_property_count_and_bounds(self, n):
+        pts = generate_irregular_grid(n, seed=11)
+        assert pts.shape == (n, 2)
+        assert np.all((pts > 0) & (pts < 1))
+
+
+class TestUniform:
+    def test_bbox(self):
+        pts = generate_uniform_locations(200, seed=0, bbox=(2.0, 3.0, -1.0, 0.5))
+        assert pts.shape == (200, 2)
+        assert pts[:, 0].min() >= 2.0 and pts[:, 0].max() <= 3.0
+        assert pts[:, 1].min() >= -1.0 and pts[:, 1].max() <= 0.5
+
+    def test_invalid(self):
+        with pytest.raises(ShapeError):
+            generate_uniform_locations(0)
+        with pytest.raises(ShapeError):
+            generate_uniform_locations(5, bbox=(1.0, 1.0, 0.0, 1.0))

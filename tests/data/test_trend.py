@@ -1,0 +1,91 @@
+"""Tests for polynomial mean-trend removal (paper §VII preprocessing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import generate_irregular_grid
+from repro.data.trend import PolynomialTrend, detrend
+from repro.exceptions import ShapeError
+
+
+class TestPolynomialTrend:
+    def test_recovers_exact_linear_surface(self, rng):
+        pts = rng.random((100, 2)) * 10
+        vals = 3.0 + 2.0 * pts[:, 0] - 1.5 * pts[:, 1]
+        trend = PolynomialTrend.fit(pts, vals, degree=1)
+        np.testing.assert_allclose(trend(pts), vals, atol=1e-9)
+        np.testing.assert_allclose(trend.residuals(pts, vals), 0.0, atol=1e-9)
+
+    def test_recovers_quadratic_surface(self, rng):
+        pts = rng.random((200, 2))
+        x, y = pts[:, 0], pts[:, 1]
+        vals = 1.0 + x - y + 0.5 * x * y - 2.0 * x**2 + y**2
+        trend = PolynomialTrend.fit(pts, vals, degree=2)
+        np.testing.assert_allclose(trend(pts), vals, atol=1e-8)
+
+    def test_degree_zero_is_mean(self, rng):
+        pts = rng.random((50, 2))
+        vals = rng.random(50)
+        trend = PolynomialTrend.fit(pts, vals, degree=0)
+        np.testing.assert_allclose(trend(pts), vals.mean(), atol=1e-10)
+
+    def test_evaluation_at_new_points(self, rng):
+        pts = rng.random((80, 2))
+        vals = 5.0 - pts[:, 0] + 2 * pts[:, 1]
+        trend = PolynomialTrend.fit(pts, vals, degree=1)
+        new = np.array([[0.5, 0.5], [2.0, -1.0]])
+        np.testing.assert_allclose(
+            trend(new), 5.0 - new[:, 0] + 2 * new[:, 1], atol=1e-8
+        )
+
+    def test_lonlat_scale_conditioning(self, rng):
+        # Real-data magnitudes (lon ~ -90, lat ~ 35) must not break the fit.
+        lon = rng.uniform(-95, -80, 120)
+        lat = rng.uniform(30, 41, 120)
+        pts = np.column_stack([lon, lat])
+        vals = 0.01 * lon - 0.02 * lat + 1.0
+        trend = PolynomialTrend.fit(pts, vals, degree=1)
+        np.testing.assert_allclose(trend(pts), vals, atol=1e-8)
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            PolynomialTrend.fit(rng.random((10, 2)), rng.random(10), degree=-1)
+        with pytest.raises(ShapeError):
+            PolynomialTrend.fit(rng.random((3, 2)), rng.random(3), degree=2)
+        with pytest.raises(ShapeError):
+            PolynomialTrend.fit(rng.random((10, 3)), rng.random(10), degree=1)
+
+
+class TestDetrendPipeline:
+    def test_residuals_are_zero_mean_field(self, rng):
+        from repro.data.fields import sample_gaussian_field
+        from repro.kernels import MaternCovariance
+
+        pts = generate_irregular_grid(144, seed=0)
+        gp = sample_gaussian_field(pts, MaternCovariance(0.5, 0.1, 0.5), seed=1)
+        raw = gp + 4.0 + 3.0 * pts[:, 0]  # GP + linear mean process
+        residuals, trend = detrend(pts, raw, degree=1)
+        # Residuals should recover the GP up to the trend's leakage.
+        assert np.abs(residuals.mean()) < 0.2
+        corr = np.corrcoef(residuals, gp)[0, 1]
+        assert corr > 0.95
+
+    def test_prediction_workflow(self, rng):
+        # detrend -> fit GP on residuals -> predict -> re-add trend.
+        from repro.data.fields import sample_gaussian_field
+        from repro.kernels import MaternCovariance
+        from repro.mle.prediction import predict
+
+        pts = generate_irregular_grid(144, seed=2)
+        model = MaternCovariance(0.5, 0.1, 0.5)
+        gp = sample_gaussian_field(pts, model, seed=3)
+        raw = gp + 10.0 - 2.0 * pts[:, 1]
+        residuals, trend = detrend(pts, raw, degree=1)
+        train, test = slice(0, 120), slice(120, 144)
+        pred_resid = predict(pts[train], residuals[train], pts[test], model)
+        pred = pred_resid + trend(pts[test])
+        rmse = float(np.sqrt(np.mean((pred - raw[test]) ** 2)))
+        baseline = float(np.sqrt(np.mean((raw[test] - raw[train].mean()) ** 2)))
+        assert rmse < baseline

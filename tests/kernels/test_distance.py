@@ -1,0 +1,134 @@
+"""Tests for distance metrics (Euclidean and great-circle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ShapeError
+from repro.kernels.distance import (
+    EARTH_RADIUS_KM,
+    euclidean_distance_matrix,
+    great_circle_distance_matrix,
+    haversine,
+    pairwise_distance,
+)
+
+
+class TestEuclidean:
+    def test_matches_bruteforce(self, rng):
+        x = rng.random((40, 2))
+        y = rng.random((25, 2))
+        d = euclidean_distance_matrix(x, y)
+        brute = np.sqrt(((x[:, None, :] - y[None, :, :]) ** 2).sum(-1))
+        np.testing.assert_allclose(d, brute, atol=1e-12)
+
+    def test_symmetric_zero_diagonal(self, rng):
+        x = rng.random((30, 2))
+        d = euclidean_distance_matrix(x)
+        np.testing.assert_allclose(d, d.T, atol=1e-12)
+        assert np.all(np.diag(d) == 0.0)
+
+    def test_non_negative_despite_cancellation(self, rng):
+        # Nearly identical points stress the expanded-square identity.
+        base = rng.random((10, 2))
+        x = np.vstack([base, base + 1e-12])
+        d = euclidean_distance_matrix(x)
+        assert np.all(d >= 0.0)
+
+    def test_1d_and_3d(self, rng):
+        x1 = rng.random((10, 1))
+        assert euclidean_distance_matrix(x1).shape == (10, 10)
+        x3 = rng.random((10, 3))
+        assert euclidean_distance_matrix(x3).shape == (10, 10)
+
+    def test_dimension_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            euclidean_distance_matrix(rng.random((5, 2)), rng.random((5, 3)))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(2, 12), st.just(2)),
+            elements=st.floats(-100, 100),
+        )
+    )
+    def test_metric_axioms(self, x):
+        d = euclidean_distance_matrix(x)
+        assert np.all(d >= 0)
+        np.testing.assert_allclose(d, d.T, atol=1e-9)
+        # Triangle inequality on all triples.
+        n = d.shape[0]
+        for i in range(n):
+            assert np.all(d[i, :][None, :] <= d[i, :][:, None] + d + 1e-7)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine(10.0, 20.0, 10.0, 20.0) == pytest.approx(0.0)
+
+    def test_equator_degrees(self):
+        # Along the equator, the central angle equals the longitude gap.
+        assert haversine(0.0, 0.0, 90.0, 0.0, unit="deg") == pytest.approx(90.0)
+
+    def test_poles_km(self):
+        # Pole to pole is half the great circle.
+        d = haversine(0.0, 90.0, 0.0, -90.0, unit="km")
+        assert d == pytest.approx(np.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_known_city_pair(self):
+        # Paris (2.3522E, 48.8566N) to New York (-74.0060, 40.7128): ~5837 km.
+        d = haversine(2.3522, 48.8566, -74.0060, 40.7128, unit="km")
+        assert d == pytest.approx(5837.0, rel=0.01)
+
+    def test_radians_unit(self):
+        assert haversine(0.0, 0.0, 180.0, 0.0, unit="rad") == pytest.approx(np.pi)
+
+    def test_bad_unit(self):
+        with pytest.raises(ShapeError):
+            haversine(0.0, 0.0, 1.0, 1.0, unit="miles")
+
+    @given(
+        st.floats(-180, 180), st.floats(-89, 89), st.floats(-180, 180), st.floats(-89, 89)
+    )
+    def test_symmetry_and_range(self, lon1, lat1, lon2, lat2):
+        d12 = haversine(lon1, lat1, lon2, lat2, unit="deg")
+        d21 = haversine(lon2, lat2, lon1, lat1, unit="deg")
+        assert d12 == pytest.approx(d21, abs=1e-9)
+        assert 0.0 <= d12 <= 180.0 + 1e-9
+
+
+class TestGreatCircleMatrix:
+    def test_shape_and_diag(self, rng):
+        pts = np.column_stack([rng.uniform(-90, 90, 20), rng.uniform(-45, 45, 20)])
+        d = great_circle_distance_matrix(pts)
+        assert d.shape == (20, 20)
+        assert np.all(np.diag(d) == 0.0)
+        np.testing.assert_allclose(d, d.T, atol=1e-9)
+
+    def test_requires_lonlat(self, rng):
+        with pytest.raises(ShapeError):
+            great_circle_distance_matrix(rng.random((5, 3)))
+
+    def test_cross_matrix(self, rng):
+        a = np.column_stack([rng.uniform(0, 10, 6), rng.uniform(0, 10, 6)])
+        b = np.column_stack([rng.uniform(0, 10, 4), rng.uniform(0, 10, 4)])
+        assert great_circle_distance_matrix(a, b).shape == (6, 4)
+
+
+class TestDispatch:
+    def test_registry(self, rng):
+        x = rng.random((8, 2))
+        np.testing.assert_allclose(
+            pairwise_distance(x, metric="euclidean"), euclidean_distance_matrix(x)
+        )
+        np.testing.assert_allclose(
+            pairwise_distance(x, metric="gcd"), great_circle_distance_matrix(x)
+        )
+
+    def test_unknown_metric(self, rng):
+        with pytest.raises(ShapeError, match="unknown metric"):
+            pairwise_distance(rng.random((4, 2)), metric="chebyshev")

@@ -1,0 +1,126 @@
+"""Tests for the Matérn correlation family (paper §IV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy import special
+
+from repro.exceptions import ShapeError
+from repro.kernels.matern import (
+    exponential_correlation,
+    gaussian_correlation,
+    matern_correlation,
+    whittle_correlation,
+)
+
+
+def bessel_matern(r, range_, nu):
+    """Direct eq. (5) evaluation (unit variance), for cross-checking."""
+    r = np.asarray(r, dtype=float)
+    x = r / range_
+    out = np.ones_like(x)
+    pos = x > 0
+    out[pos] = (
+        2 ** (1 - nu) / special.gamma(nu) * x[pos] ** nu * special.kv(nu, x[pos])
+    )
+    return out
+
+
+class TestSpecialCases:
+    def test_zero_distance_is_one(self):
+        for nu in (0.3, 0.5, 1.0, 1.5, 2.5, 3.7):
+            assert matern_correlation(np.array(0.0), 0.1, nu) == pytest.approx(1.0)
+
+    def test_exponential_case(self, rng):
+        r = rng.random(50) * 2
+        np.testing.assert_allclose(
+            matern_correlation(r, 0.17, 0.5), np.exp(-r / 0.17), rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            exponential_correlation(r, 0.17), np.exp(-r / 0.17), rtol=1e-12
+        )
+
+    def test_whittle_case_matches_bessel(self, rng):
+        r = rng.random(30) + 0.01
+        np.testing.assert_allclose(
+            whittle_correlation(r, 0.2), bessel_matern(r, 0.2, 1.0), rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            matern_correlation(r, 0.2, 1.0), bessel_matern(r, 0.2, 1.0), rtol=1e-9
+        )
+
+    @pytest.mark.parametrize("nu", [1.5, 2.5])
+    def test_polynomial_fast_paths(self, nu, rng):
+        r = rng.random(40) * 3 + 1e-3
+        np.testing.assert_allclose(
+            matern_correlation(r, 0.3, nu), bessel_matern(r, 0.3, nu), rtol=1e-9
+        )
+
+    def test_general_nu_matches_bessel(self, rng):
+        r = rng.random(25) * 2 + 1e-3
+        for nu in (0.3, 0.75, 1.2, 3.3):
+            np.testing.assert_allclose(
+                matern_correlation(r, 0.15, nu), bessel_matern(r, 0.15, nu), rtol=1e-8
+            )
+
+    def test_large_nu_uses_gaussian_limit(self):
+        r = np.linspace(0, 0.5, 20)
+        got = matern_correlation(r, 0.1, 80.0)
+        np.testing.assert_allclose(got, gaussian_correlation(r, 0.1), rtol=1e-12)
+
+
+class TestNumericalRobustness:
+    def test_huge_distances_underflow_to_zero(self):
+        r = np.array([1e3, 1e6])
+        for nu in (0.5, 1.0, 2.2):
+            vals = matern_correlation(r, 0.01, nu)
+            assert np.all(np.isfinite(vals))
+            assert np.all(vals < 1e-10)
+
+    def test_tiny_positive_distance(self):
+        vals = matern_correlation(np.array([1e-14]), 0.1, 0.8)
+        assert np.all(np.isfinite(vals))
+        assert vals[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_values_in_unit_interval(self, rng):
+        r = np.abs(rng.normal(0, 2, 200))
+        for nu in (0.4, 0.5, 1.0, 1.5, 2.5, 4.0):
+            vals = matern_correlation(r, 0.2, nu)
+            assert np.all(vals >= 0.0) and np.all(vals <= 1.0)
+
+    def test_monotone_decreasing_in_distance(self):
+        r = np.linspace(0, 2, 100)
+        for nu in (0.5, 1.0, 1.5, 3.0):
+            vals = matern_correlation(r, 0.3, nu)
+            assert np.all(np.diff(vals) <= 1e-12)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ShapeError):
+            matern_correlation(np.array([1.0]), -0.1, 0.5)
+        with pytest.raises(ShapeError):
+            matern_correlation(np.array([1.0]), 0.1, 0.0)
+
+    @given(
+        st.floats(0.01, 5.0),
+        st.floats(0.05, 2.0),
+        st.floats(0.2, 4.0),
+    )
+    def test_property_bounded_and_finite(self, r, range_, nu):
+        v = float(matern_correlation(np.array(r), range_, nu))
+        assert np.isfinite(v)
+        assert 0.0 <= v <= 1.0
+
+
+class TestPositiveDefiniteness:
+    @pytest.mark.parametrize("nu", [0.5, 1.0, 1.5, 0.8])
+    def test_min_eigenvalue_nonnegative(self, nu, rng):
+        pts = rng.random((40, 2))
+        from repro.kernels.distance import euclidean_distance_matrix
+
+        d = euclidean_distance_matrix(pts)
+        c = matern_correlation(d, 0.2, nu)
+        eigs = np.linalg.eigvalsh(c)
+        assert eigs.min() > -1e-8

@@ -1,0 +1,151 @@
+"""Tests for the full-block reference and dense tile Cholesky/solves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotPositiveDefiniteError, ShapeError
+from repro.linalg.blocklapack import (
+    block_cholesky,
+    block_cholesky_solve,
+    block_logdet_from_factor,
+)
+from repro.linalg.tile_cholesky import logdet_from_tile_factor, tile_cholesky
+from repro.linalg.tile_matrix import TileMatrix
+from repro.linalg.tile_solve import tile_cholesky_solve, tile_solve_triangular
+from repro.runtime import Runtime
+
+
+@pytest.fixture(scope="module")
+def spd(small_sigma_module):
+    return small_sigma_module
+
+
+@pytest.fixture(scope="module")
+def small_sigma_module():
+    from repro.data import generate_irregular_grid, sort_locations
+    from repro.kernels import MaternCovariance
+
+    locs = generate_irregular_grid(144, seed=9)
+    locs, _, _ = sort_locations(locs)
+    return MaternCovariance(1.0, 0.1, 0.5).matrix(locs)
+
+
+class TestBlockLapack:
+    def test_cholesky_matches_numpy(self, spd):
+        L = block_cholesky(spd.copy())
+        np.testing.assert_allclose(L, np.linalg.cholesky(spd), atol=1e-10)
+        assert np.allclose(L, np.tril(L))
+
+    def test_logdet(self, spd):
+        L = block_cholesky(spd.copy())
+        sign, ref = np.linalg.slogdet(spd)
+        assert sign == 1.0
+        assert block_logdet_from_factor(L) == pytest.approx(ref, rel=1e-10)
+
+    def test_solve_and_half_solve(self, spd, rng):
+        b = rng.random(spd.shape[0])
+        L = block_cholesky(spd.copy())
+        x = block_cholesky_solve(L, b)
+        np.testing.assert_allclose(spd @ x, b, atol=1e-8)
+        x2, y = block_cholesky_solve(L, b, return_half_solve=True)
+        np.testing.assert_allclose(x2, x, atol=1e-12)
+        assert y @ y == pytest.approx(b @ np.linalg.solve(spd, b), rel=1e-8)
+
+    def test_not_positive_definite(self):
+        bad = np.array([[1.0, 2.0], [2.0, 1.0]])
+        with pytest.raises(NotPositiveDefiniteError):
+            block_cholesky(bad)
+
+    def test_logdet_rejects_bad_factor(self):
+        with pytest.raises(NotPositiveDefiniteError):
+            block_logdet_from_factor(np.diag([1.0, -1.0]))
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            block_cholesky(rng.random((3, 4)))
+
+
+class TestTileCholesky:
+    @pytest.mark.parametrize("nb", [16, 33, 144, 50])
+    def test_serial_matches_reference(self, spd, nb):
+        tm = TileMatrix.from_dense(spd, nb, symmetric_lower=True)
+        tile_cholesky(tm)
+        ref = np.linalg.cholesky(spd)
+        got = np.tril(tm.to_dense())  # factor lives in the lower triangle
+        np.testing.assert_allclose(got, ref, atol=1e-9)
+
+    def test_parallel_matches_serial_exactly(self, spd):
+        tm_serial = TileMatrix.from_dense(spd, 32, symmetric_lower=True)
+        tile_cholesky(tm_serial)
+        tm_par = TileMatrix.from_dense(spd, 32, symmetric_lower=True)
+        with Runtime(num_workers=6) as rt:
+            tile_cholesky(tm_par, runtime=rt)
+        for (i, j, a), (_, _, b) in zip(tm_serial.iter_stored(), tm_par.iter_stored()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_requires_symmetric_lower(self, spd):
+        tm = TileMatrix.from_dense(spd, 32, symmetric_lower=False)
+        with pytest.raises(ShapeError):
+            tile_cholesky(tm)
+
+    def test_logdet(self, spd):
+        tm = TileMatrix.from_dense(spd, 40, symmetric_lower=True)
+        tile_cholesky(tm)
+        _, ref = np.linalg.slogdet(spd)
+        assert logdet_from_tile_factor(tm) == pytest.approx(ref, rel=1e-10)
+
+    def test_not_positive_definite_raises(self):
+        bad = -np.eye(20)
+        tm = TileMatrix.from_dense(bad, 8, symmetric_lower=True)
+        with pytest.raises(NotPositiveDefiniteError):
+            tile_cholesky(tm)
+
+    def test_parallel_error_propagates(self):
+        bad = -np.eye(24)
+        tm = TileMatrix.from_dense(bad, 8, symmetric_lower=True)
+        with Runtime(num_workers=4) as rt:
+            with pytest.raises(NotPositiveDefiniteError):
+                tile_cholesky(tm, runtime=rt)
+
+
+class TestTileSolve:
+    @pytest.mark.parametrize("nb", [16, 37])
+    def test_solve_vector(self, spd, nb, rng):
+        b = rng.random(spd.shape[0])
+        tm = TileMatrix.from_dense(spd, nb, symmetric_lower=True)
+        tile_cholesky(tm)
+        x = tile_cholesky_solve(tm, b)
+        np.testing.assert_allclose(spd @ x, b, atol=1e-8)
+
+    def test_solve_multi_rhs(self, spd, rng):
+        b = rng.random((spd.shape[0], 5))
+        tm = TileMatrix.from_dense(spd, 32, symmetric_lower=True)
+        tile_cholesky(tm)
+        x = tile_cholesky_solve(tm, b)
+        np.testing.assert_allclose(spd @ x, b, atol=1e-8)
+
+    def test_triangular_halves(self, spd, rng):
+        b = rng.random(spd.shape[0])
+        tm = TileMatrix.from_dense(spd, 48, symmetric_lower=True)
+        tile_cholesky(tm)
+        ref = np.linalg.cholesky(spd)
+        y = tile_solve_triangular(tm, b, trans=False)
+        np.testing.assert_allclose(ref @ y, b, atol=1e-8)
+        z = tile_solve_triangular(tm, y, trans=True)
+        np.testing.assert_allclose(ref.T @ z, y, atol=1e-8)
+
+    def test_rhs_not_mutated(self, spd, rng):
+        b = rng.random(spd.shape[0])
+        b0 = b.copy()
+        tm = TileMatrix.from_dense(spd, 32, symmetric_lower=True)
+        tile_cholesky(tm)
+        tile_cholesky_solve(tm, b)
+        np.testing.assert_array_equal(b, b0)
+
+    def test_wrong_length(self, spd, rng):
+        tm = TileMatrix.from_dense(spd, 32, symmetric_lower=True)
+        tile_cholesky(tm)
+        with pytest.raises(ShapeError):
+            tile_solve_triangular(tm, rng.random(5))

@@ -1,0 +1,245 @@
+"""Tests for low-rank compression: SVD, RSVD, ACA, addition, rounding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import use_config
+from repro.exceptions import CompressionError, ShapeError
+from repro.linalg.compression import (
+    LowRank,
+    aca_compress,
+    compress,
+    lr_add,
+    recompress,
+    rsvd_compress,
+    svd_compress,
+    truncation_rank,
+)
+
+
+def random_lowrank_matrix(rng, m, n, rank, noise=0.0):
+    """Exactly rank-``rank`` matrix plus optional dense noise."""
+    u = rng.standard_normal((m, rank))
+    v = rng.standard_normal((rank, n))
+    a = u @ v
+    if noise:
+        a = a + noise * rng.standard_normal((m, n))
+    return a
+
+
+def covariance_tile(rng, m=60, n=60, range_=0.3):
+    """A realistic smooth (hence compressible) off-diagonal tile."""
+    from repro.kernels.covariance import MaternCovariance
+
+    x = np.sort(rng.random(m))[:, None]
+    y = np.sort(rng.random(n))[:, None] + 2.0  # well-separated clusters
+    return MaternCovariance(1.0, range_, 1.5).matrix(x, y)
+
+
+class TestTruncationRank:
+    def test_relative(self):
+        s = np.array([10.0, 1.0, 0.1, 0.01])
+        assert truncation_rank(s, 0.05, "relative") == 2
+        assert truncation_rank(s, 1e-4, "relative") == 4
+
+    def test_absolute(self):
+        s = np.array([10.0, 1.0, 0.1, 0.01])
+        assert truncation_rank(s, 0.5, "absolute") == 2
+        assert truncation_rank(s, 0.001, "absolute") == 4
+
+    def test_empty_and_bad_rule(self):
+        assert truncation_rank(np.array([]), 0.1, "relative") == 0
+        with pytest.raises(ShapeError):
+            truncation_rank(np.array([1.0]), 0.1, "weird")
+
+
+class TestLowRank:
+    def test_basic_properties(self, rng):
+        lr = LowRank(rng.random((10, 3)), rng.random((3, 8)))
+        assert lr.shape == (10, 8)
+        assert lr.rank == 3
+        assert lr.nbytes == (30 + 24) * 8
+        assert lr.to_dense().shape == (10, 8)
+
+    def test_rank_zero(self):
+        lr = LowRank(np.zeros((5, 0)), np.zeros((0, 7)))
+        assert lr.rank == 0
+        np.testing.assert_array_equal(lr.to_dense(), np.zeros((5, 7)))
+
+    def test_incompatible_factors(self, rng):
+        with pytest.raises(ShapeError):
+            LowRank(rng.random((5, 3)), rng.random((2, 5)))
+
+    def test_set_factors_shape_guard(self, rng):
+        lr = LowRank(rng.random((6, 2)), rng.random((2, 6)))
+        lr.set_factors(rng.random((6, 4)), rng.random((4, 6)))  # rank change ok
+        assert lr.rank == 4
+        with pytest.raises(ShapeError):
+            lr.set_factors(rng.random((5, 2)), rng.random((2, 6)))
+
+    def test_copy_independent(self, rng):
+        lr = LowRank(rng.random((4, 2)), rng.random((2, 4)))
+        dup = lr.copy()
+        dup.u[:] = 0
+        assert lr.u.max() > 0
+
+
+class TestSVDCompress:
+    def test_exact_rank_recovery(self, rng):
+        a = random_lowrank_matrix(rng, 40, 30, 5)
+        lr = svd_compress(a, 1e-10, rule="relative")
+        assert lr.rank == 5
+        np.testing.assert_allclose(lr.to_dense(), a, atol=1e-8)
+
+    @pytest.mark.parametrize("acc", [1e-2, 1e-5, 1e-9])
+    def test_relative_error_contract(self, acc, rng):
+        a = covariance_tile(rng)
+        lr = svd_compress(a, acc, rule="relative")
+        err = np.linalg.norm(a - lr.to_dense(), 2)
+        assert err <= acc * np.linalg.norm(a, 2) + 1e-14
+
+    def test_absolute_rule(self, rng):
+        a = covariance_tile(rng)
+        lr = svd_compress(a, 1e-6, rule="absolute")
+        assert np.linalg.norm(a - lr.to_dense(), 2) <= 1e-6 + 1e-12
+
+    def test_rank_monotone_in_accuracy(self, rng):
+        a = covariance_tile(rng)
+        ranks = [svd_compress(a, acc).rank for acc in (1e-2, 1e-5, 1e-9, 1e-13)]
+        assert ranks == sorted(ranks)
+
+    def test_zero_matrix(self):
+        lr = svd_compress(np.zeros((10, 10)), 1e-8)
+        assert lr.rank == 0
+
+
+class TestRSVDCompress:
+    @pytest.mark.parametrize("acc", [1e-3, 1e-6])
+    def test_error_contract(self, acc, rng):
+        a = covariance_tile(rng)
+        lr = rsvd_compress(a, acc, seed=0)
+        err = np.linalg.norm(a - lr.to_dense(), 2)
+        # Randomized bound: allow modest slack over the target.
+        assert err <= 10 * acc * np.linalg.norm(a, 2)
+
+    def test_adaptivity_grows_rank(self, rng):
+        a = random_lowrank_matrix(rng, 80, 80, 40)
+        lr = rsvd_compress(a, 1e-9, initial_rank=4, seed=1)
+        assert lr.rank >= 39
+        np.testing.assert_allclose(lr.to_dense(), a, atol=1e-5)
+
+    def test_full_rank_fallback(self, rng):
+        a = rng.standard_normal((20, 20))  # incompressible
+        lr = rsvd_compress(a, 1e-12, seed=2)
+        np.testing.assert_allclose(lr.to_dense(), a, atol=1e-8)
+
+
+class TestACACompress:
+    @pytest.mark.parametrize("acc", [1e-3, 1e-7])
+    def test_error_contract_frobenius(self, acc, rng):
+        a = covariance_tile(rng)
+        lr = aca_compress(a, acc, rule="relative")
+        err = np.linalg.norm(a - lr.to_dense())
+        assert err <= acc * np.linalg.norm(a) + 1e-14
+
+    def test_zero_matrix_rank0(self):
+        lr = aca_compress(np.zeros((8, 12)), 1e-6)
+        assert lr.rank == 0
+        assert lr.shape == (8, 12)
+
+    def test_max_rank_failure(self, rng):
+        a = rng.standard_normal((30, 30))
+        with pytest.raises(CompressionError):
+            aca_compress(a, 1e-12, max_rank=3)
+
+    def test_exact_low_rank(self, rng):
+        a = random_lowrank_matrix(rng, 25, 25, 3)
+        lr = aca_compress(a, 1e-10)
+        assert lr.rank <= 6
+        np.testing.assert_allclose(lr.to_dense(), a, atol=1e-7)
+
+
+class TestDispatchAndConfig:
+    def test_compress_dispatch(self, rng):
+        a = covariance_tile(rng)
+        for method in ("svd", "rsvd", "aca"):
+            lr = compress(a, 1e-5, method=method)
+            assert lr.rank >= 1
+
+    def test_config_default_method(self, rng):
+        a = covariance_tile(rng)
+        with use_config(compression_method="aca"):
+            lr = compress(a, 1e-5)
+        assert lr.rank >= 1
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ShapeError):
+            compress(covariance_tile(rng), 1e-5, method="magic")
+
+
+class TestAddRecompress:
+    def test_lr_add_exact(self, rng):
+        a = svd_compress(random_lowrank_matrix(rng, 20, 20, 3), 1e-12)
+        b = svd_compress(random_lowrank_matrix(rng, 20, 20, 4), 1e-12)
+        s = lr_add(a, b, beta=-2.0)
+        np.testing.assert_allclose(
+            s.to_dense(), a.to_dense() - 2.0 * b.to_dense(), atol=1e-10
+        )
+        assert s.rank == a.rank + b.rank
+
+    def test_lr_add_zero_rank_operands(self, rng):
+        z = LowRank(np.zeros((10, 0)), np.zeros((0, 10)))
+        b = svd_compress(random_lowrank_matrix(rng, 10, 10, 2), 1e-12)
+        np.testing.assert_allclose(lr_add(z, b).to_dense(), b.to_dense(), atol=1e-12)
+        np.testing.assert_allclose(lr_add(b, z).to_dense(), b.to_dense(), atol=1e-12)
+
+    def test_lr_add_shape_mismatch(self, rng):
+        a = LowRank(rng.random((5, 1)), rng.random((1, 5)))
+        b = LowRank(rng.random((6, 1)), rng.random((1, 6)))
+        with pytest.raises(ShapeError):
+            lr_add(a, b)
+
+    def test_recompress_reduces_inflated_rank(self, rng):
+        base = random_lowrank_matrix(rng, 30, 30, 4)
+        a = svd_compress(base, 1e-12)
+        doubled = lr_add(a, LowRank(-a.u.copy(), a.v.copy()))  # exactly zero
+        rounded = recompress(doubled, 1e-8)
+        # Relative truncation keeps noise-level directions, but the
+        # represented block must be numerically zero and not inflated.
+        assert rounded.rank <= doubled.rank
+        assert np.linalg.norm(rounded.to_dense()) < 1e-12
+
+    def test_recompress_reduces_redundant_rank(self, rng):
+        # Duplicating the same factors doubles the stored rank without
+        # adding information; rounding must collapse it back.
+        base = random_lowrank_matrix(rng, 30, 30, 4)
+        a = svd_compress(base, 1e-12)
+        doubled = lr_add(a, a)  # represents 2*base, rank 8 stored
+        rounded = recompress(doubled, 1e-10)
+        assert rounded.rank == 4
+        np.testing.assert_allclose(rounded.to_dense(), 2 * base, atol=1e-8)
+
+    @pytest.mark.parametrize("acc", [1e-4, 1e-8])
+    def test_recompress_error_contract(self, acc, rng):
+        a = svd_compress(covariance_tile(rng), 1e-13)
+        rounded = recompress(a, acc)
+        err = np.linalg.norm(a.to_dense() - rounded.to_dense(), 2)
+        assert err <= acc * np.linalg.norm(a.to_dense(), 2) + 1e-13
+        assert rounded.rank <= a.rank
+
+    def test_recompress_rank_zero_passthrough(self):
+        z = LowRank(np.zeros((7, 0)), np.zeros((0, 7)))
+        assert recompress(z, 1e-8).rank == 0
+
+    @settings(max_examples=15)
+    @given(st.integers(1, 8), st.floats(1e-10, 1e-2))
+    def test_property_svd_contract_on_noisy_lowrank(self, rank, acc):
+        rng = np.random.default_rng(rank)
+        a = random_lowrank_matrix(rng, 30, 25, rank, noise=1e-12)
+        lr = svd_compress(a, acc, rule="relative")
+        err = np.linalg.norm(a - lr.to_dense(), 2)
+        assert err <= acc * np.linalg.norm(a, 2) + 1e-11

@@ -1,0 +1,135 @@
+"""Direct unit tests for the dense and TLR codelets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.exceptions import NotPositiveDefiniteError
+from repro.linalg.compression import LowRank, svd_compress
+from repro.linalg.tile_ops import gemm_codelet, potrf_codelet, syrk_codelet, trsm_codelet
+from repro.linalg.tlr_ops import (
+    tlr_gemm_codelet,
+    tlr_potrf_codelet,
+    tlr_syrk_codelet,
+    tlr_trsm_codelet,
+)
+
+
+@pytest.fixture()
+def spd_tile(rng):
+    x = rng.random((24, 24))
+    return x @ x.T + 24 * np.eye(24)
+
+
+class TestDenseCodelets:
+    def test_potrf_in_place_lower(self, spd_tile):
+        expected = np.linalg.cholesky(spd_tile)
+        tile = spd_tile.copy()
+        potrf_codelet(tile)
+        np.testing.assert_allclose(tile, expected, atol=1e-10)
+        assert np.allclose(tile, np.tril(tile))
+
+    def test_potrf_raises_on_indefinite(self):
+        with pytest.raises(NotPositiveDefiniteError):
+            potrf_codelet(-np.eye(4))
+
+    def test_trsm_right_solve(self, spd_tile, rng):
+        lkk = np.linalg.cholesky(spd_tile)
+        a = rng.random((16, 24))
+        expected = a @ np.linalg.inv(lkk).T
+        tile = a.copy()
+        trsm_codelet(lkk, tile)
+        np.testing.assert_allclose(tile, expected, atol=1e-9)
+
+    def test_syrk_update(self, rng):
+        a = rng.random((12, 12))
+        d = rng.random((12, 12))
+        expected = d - a @ a.T
+        out = d.copy()
+        syrk_codelet(a, out)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_gemm_update(self, rng):
+        aik = rng.random((10, 8))
+        ajk = rng.random((10, 8))
+        aij = rng.random((10, 10))
+        expected = aij - aik @ ajk.T
+        out = aij.copy()
+        gemm_codelet(aik, ajk, out)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+
+class TestTLRCodelets:
+    def test_tlr_potrf_matches_dense(self, spd_tile):
+        tile = spd_tile.copy()
+        tlr_potrf_codelet(tile)
+        np.testing.assert_allclose(tile, np.linalg.cholesky(spd_tile), atol=1e-10)
+
+    def test_tlr_trsm_only_touches_v(self, spd_tile, rng):
+        lkk = np.linalg.cholesky(spd_tile)
+        dense = rng.random((24, 24))
+        block = svd_compress(dense, 1e-12)
+        u_before = block.u.copy()
+        expected = block.to_dense() @ np.linalg.inv(lkk).T
+        tlr_trsm_codelet(lkk, block)
+        np.testing.assert_array_equal(block.u, u_before)  # U untouched
+        np.testing.assert_allclose(block.to_dense(), expected, atol=1e-8)
+
+    def test_tlr_trsm_rank_zero_noop(self, spd_tile):
+        lkk = np.linalg.cholesky(spd_tile)
+        z = LowRank(np.zeros((24, 0)), np.zeros((0, 24)))
+        tlr_trsm_codelet(lkk, z)
+        assert z.rank == 0
+
+    def test_tlr_syrk_matches_dense_syrk(self, rng):
+        dense = rng.random((20, 20)) * 0.1
+        block = svd_compress(dense, 1e-13)
+        d = rng.random((20, 20))
+        expected = d - dense @ dense.T
+        out = d.copy()
+        tlr_syrk_codelet(block, out)
+        np.testing.assert_allclose(out, expected, atol=1e-8)
+
+    def test_tlr_syrk_rank_zero_noop(self, rng):
+        z = LowRank(np.zeros((8, 0)), np.zeros((0, 8)))
+        d = rng.random((8, 8))
+        d0 = d.copy()
+        tlr_syrk_codelet(z, d)
+        np.testing.assert_array_equal(d, d0)
+
+    def test_tlr_gemm_matches_dense_update(self, rng):
+        def lowrank_of(mat):
+            return svd_compress(mat, 1e-13)
+
+        a_dense = rng.random((16, 16)) * 0.5
+        ik_dense = rng.random((16, 16)) * 0.3
+        jk_dense = rng.random((16, 16)) * 0.3
+        aij = lowrank_of(a_dense)
+        aik = lowrank_of(ik_dense)
+        ajk = lowrank_of(jk_dense)
+        expected = a_dense - ik_dense @ jk_dense.T
+        tlr_gemm_codelet(aij, aik, ajk, acc=1e-12)
+        np.testing.assert_allclose(aij.to_dense(), expected, atol=1e-7)
+
+    def test_tlr_gemm_recompresses(self, rng):
+        # A cancelling update must not inflate the stored rank.
+        base = rng.random((16, 2)) @ rng.random((2, 16))
+        aij = svd_compress(base, 1e-13)
+        aik = svd_compress(base, 1e-13)
+        identityish = svd_compress(np.eye(16), 1e-13)
+        rank_before = aij.rank
+        tlr_gemm_codelet(aij, aik, identityish, acc=1e-10)
+        # A_ij - A_ik @ I^T = 0: the stored rank stays bounded by the
+        # concatenated rank (relative truncation keeps noise directions
+        # of a numerically-zero block) and the block itself vanishes.
+        assert aij.rank <= 2 * rank_before
+        assert np.linalg.norm(aij.to_dense()) < 1e-12
+
+    def test_tlr_gemm_zero_operand_noop(self, rng):
+        aij = svd_compress(rng.random((8, 8)), 1e-12)
+        before = aij.to_dense()
+        z = LowRank(np.zeros((8, 0)), np.zeros((0, 8)))
+        tlr_gemm_codelet(aij, z, z, acc=1e-10)
+        np.testing.assert_array_equal(aij.to_dense(), before)

@@ -1,0 +1,86 @@
+"""Tests for observed-information standard errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.mle.fisher import observed_information
+
+
+class TestObservedInformation:
+    def test_gaussian_sample_variance_information(self):
+        # iid N(0, v): loglik(v) = -n/2 log(2 pi v) - S/(2v) with
+        # S = sum z_i^2. Observed information at the MLE v_hat = S/n is
+        # n / (2 v_hat^2) — a closed form to validate against.
+        rng = np.random.default_rng(0)
+        z = rng.normal(0.0, 1.3, size=400)
+        s = float(np.sum(z * z))
+        n = z.size
+        v_hat = s / n
+
+        def loglik(theta):
+            v = theta[0]
+            return -0.5 * n * np.log(2 * np.pi * v) - s / (2 * v)
+
+        info = observed_information(loglik, [v_hat])
+        expected_info = n / (2 * v_hat**2)
+        assert -info.hessian[0, 0] == pytest.approx(expected_info, rel=1e-3)
+        assert info.standard_errors[0] == pytest.approx(
+            np.sqrt(2.0 * v_hat**2 / n), rel=1e-3
+        )
+
+    def test_quadratic_loglik_exact_covariance(self):
+        # loglik = -0.5 (theta-mu)' A (theta-mu): covariance = A^{-1}.
+        a = np.array([[4.0, 1.0], [1.0, 3.0]])
+        mu = np.array([1.0, 2.0])
+
+        def loglik(theta):
+            d = np.asarray(theta) - mu
+            return float(-0.5 * d @ a @ d)
+
+        info = observed_information(loglik, mu)
+        np.testing.assert_allclose(info.covariance, np.linalg.inv(a), atol=1e-5)
+
+    def test_confidence_interval_contains_theta(self):
+        def loglik(theta):
+            d = theta[0] - 2.0
+            return -0.5 * 10 * d * d
+
+        info = observed_information(loglik, [2.0])
+        ci = info.confidence_interval(0.95)
+        assert ci.shape == (1, 2)
+        assert ci[0, 0] < 2.0 < ci[0, 1]
+        with pytest.raises(OptimizationError):
+            info.confidence_interval(1.5)
+
+    def test_indefinite_information_yields_nan_se(self):
+        # A maximum along one axis, minimum along the other -> indefinite.
+        def saddle(theta):
+            return float(-theta[0] ** 2 + theta[1] ** 2)
+
+        info = observed_information(saddle, [1.0, 1.0])
+        assert info.covariance is None
+        assert np.all(np.isnan(info.standard_errors))
+
+    def test_positive_parameter_guard(self):
+        with pytest.raises(OptimizationError):
+            observed_information(lambda t: 0.0, [1.0, -1.0])
+
+    def test_matern_mle_standard_errors(self):
+        # End to end: SEs of a real Matérn fit are finite and positive.
+        from repro.data import generate_irregular_grid, sample_gaussian_field
+        from repro.kernels import MaternCovariance
+        from repro.mle import LikelihoodEvaluator, MLEstimator
+
+        locs = generate_irregular_grid(144, seed=5)
+        truth = MaternCovariance(1.0, 0.1, 0.5)
+        z = sample_gaussian_field(locs, truth, seed=6)
+        est = MLEstimator(locs, z, variant="full-block")
+        fit = est.fit(maxiter=120)
+        info = observed_information(est.evaluator, fit.theta)
+        se = info.standard_errors
+        assert np.all(np.isfinite(se)) and np.all(se > 0)
+        # Truth within a generous multiple of the standard errors.
+        assert np.all(np.abs(fit.theta - truth.theta) < 8 * se + 0.5)

@@ -1,0 +1,89 @@
+"""Tests for the Monte-Carlo harness (Figures 6-7 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mle.montecarlo import (
+    MonteCarloResult,
+    run_monte_carlo,
+    summarize_boxplot,
+    technique_label,
+)
+
+
+class TestTechniqueLabels:
+    def test_labels(self):
+        assert technique_label("tlr", 1e-9) == "TLR-acc(1e-09)"
+        assert technique_label("full-tile", None) == "Full-tile"
+        assert technique_label("full-block", None) == "Full-block"
+
+
+class TestSummarizeBoxplot:
+    def test_five_number_summary(self):
+        stats = summarize_boxplot(np.arange(1, 101, dtype=float))
+        assert stats["min"] == 1.0 and stats["max"] == 100.0
+        assert stats["median"] == pytest.approx(50.5)
+        assert stats["q1"] == pytest.approx(25.75)
+        assert stats["q3"] == pytest.approx(75.25)
+        assert stats["mean"] == pytest.approx(50.5)
+
+
+class TestRunMonteCarlo:
+    @pytest.fixture(scope="class")
+    def tiny_result(self) -> MonteCarloResult:
+        return run_monte_carlo(
+            (1.0, 0.1, 0.5),
+            n=100,
+            n_replicates=2,
+            n_predict=10,
+            techniques=(("full-block", None),),
+            maxiter=30,
+            seed=5,
+        )
+
+    def test_result_shapes(self, tiny_result):
+        est = tiny_result.estimates["Full-block"]
+        assert est.shape == (2, 3)
+        assert tiny_result.mse["Full-block"].shape == (2,)
+        assert tiny_result.logliks["Full-block"].shape == (2,)
+
+    def test_estimates_positive(self, tiny_result):
+        assert np.all(tiny_result.estimates["Full-block"] > 0)
+
+    def test_mse_positive_and_finite(self, tiny_result):
+        mse = tiny_result.mse["Full-block"]
+        assert np.all(np.isfinite(mse)) and np.all(mse >= 0)
+
+    def test_reproducible_with_seed(self):
+        kwargs = dict(
+            n=64,
+            n_replicates=2,
+            n_predict=5,
+            techniques=(("full-block", None),),
+            maxiter=15,
+            seed=9,
+        )
+        a = run_monte_carlo((1.0, 0.1, 0.5), **kwargs)
+        b = run_monte_carlo((1.0, 0.1, 0.5), **kwargs)
+        np.testing.assert_array_equal(
+            a.estimates["Full-block"], b.estimates["Full-block"]
+        )
+        np.testing.assert_array_equal(a.mse["Full-block"], b.mse["Full-block"])
+
+    def test_multiple_techniques_share_data(self):
+        res = run_monte_carlo(
+            (1.0, 0.1, 0.5),
+            n=81,
+            n_replicates=1,
+            n_predict=5,
+            techniques=(("full-block", None), ("tlr", 1e-10)),
+            tile_size=27,
+            maxiter=25,
+            seed=3,
+        )
+        # Same data + near-exact TLR: estimates should be very close.
+        fb = res.estimates["Full-block"][0]
+        tl = res.estimates["TLR-acc(1e-10)"][0]
+        np.testing.assert_allclose(fb, tl, rtol=0.25)

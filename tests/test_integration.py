@@ -1,0 +1,118 @@
+"""End-to-end integration tests: the paper's pipeline at laptop scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import MLEstimator, MaternCovariance, Runtime, use_config
+from repro.data import (
+    generate_irregular_grid,
+    make_soil_moisture_dataset,
+    sample_gaussian_field,
+    train_test_split,
+)
+from repro.data.datasets import GeoDataset
+from repro.mle import mean_squared_error, predict
+
+
+class TestPublicAPI:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in ("MLEstimator", "MaternCovariance", "TLRMatrix", "Runtime"):
+            assert hasattr(repro, name)
+
+
+class TestFigure2Pipeline:
+    """The paper's Figure 2 workflow: 400 points, 362 fit + 38 predict."""
+
+    def test_fit_predict_pipeline(self):
+        locs = generate_irregular_grid(400, seed=0)
+        truth = MaternCovariance(1.0, 0.1, 0.5)
+        z = sample_gaussian_field(locs, truth, seed=1)
+        ds = GeoDataset(locs, z, name="fig2")
+        train, test = train_test_split(ds, 38, seed=2)
+
+        est = MLEstimator.from_dataset(train, variant="tlr", acc=1e-9, tile_size=91)
+        fit = est.fit(maxiter=80)
+        pred = est.predict(fit, test.locations)
+        mse = mean_squared_error(test.values, pred)
+        # Prediction must beat the trivial zero-mean predictor clearly.
+        assert mse < 0.5 * float(np.var(test.values))
+        # Parameters in a plausible window around the truth.
+        assert 0.2 < fit.theta[0] < 4.0
+        assert 0.01 < fit.theta[1] < 0.6
+
+
+class TestVariantConsistency:
+    """All three substrates must tell the same statistical story."""
+
+    def test_likelihood_surface_agreement(self):
+        locs = generate_irregular_grid(169, seed=5)
+        truth = MaternCovariance(1.0, 0.1, 0.5)
+        z = sample_gaussian_field(locs, truth, seed=6)
+        from repro.mle import LikelihoodEvaluator, exact_loglikelihood
+
+        thetas = [(1.0, 0.1, 0.5), (0.7, 0.05, 0.5), (1.5, 0.2, 1.0)]
+        for theta in thetas:
+            model = truth.with_theta(np.array(theta))
+            exact = exact_loglikelihood(locs, z, model)
+            for variant, acc in (("full-tile", None), ("tlr", 1e-10)):
+                ev = LikelihoodEvaluator(
+                    locs, z, truth, variant=variant, acc=acc, tile_size=43
+                )
+                assert ev(np.array(theta)) == pytest.approx(exact, abs=1e-3)
+
+    def test_parallel_fit_equals_serial_fit(self):
+        locs = generate_irregular_grid(169, seed=8)
+        truth = MaternCovariance(1.0, 0.1, 0.5)
+        z = sample_gaussian_field(locs, truth, seed=9)
+        serial = MLEstimator(locs, z, variant="tlr", acc=1e-8, tile_size=43).fit(maxiter=40)
+        with Runtime(num_workers=4) as rt:
+            par = MLEstimator(
+                locs, z, variant="tlr", acc=1e-8, tile_size=43, runtime=rt
+            ).fit(maxiter=40)
+        np.testing.assert_allclose(par.theta, serial.theta, rtol=1e-10)
+        assert par.loglik == pytest.approx(serial.loglik, rel=1e-10)
+
+
+class TestRealDataSubstitutePipeline:
+    def test_soil_moisture_region_fit(self):
+        ds = make_soil_moisture_dataset("R1", n=150, seed=3)
+        est = MLEstimator.from_dataset(ds, variant="tlr", acc=1e-9, tile_size=50)
+        from repro.optim.bounds import default_matern_bounds
+
+        fit = est.fit(
+            maxiter=60,
+            bounds=default_matern_bounds(ds.values, max_range=60.0),
+            x0=np.asarray(ds.meta["theta_true"]),
+        )
+        assert np.all(fit.theta > 0)
+        # Smoothness is the paper's most identifiable parameter.
+        assert 0.1 < fit.theta[2] < 2.5
+
+
+class TestConfigIntegration:
+    def test_config_drives_defaults(self):
+        locs = generate_irregular_grid(100, seed=11)
+        truth = MaternCovariance(1.0, 0.1, 0.5)
+        z = sample_gaussian_field(locs, truth, seed=12)
+        with use_config(tile_size=25, tlr_accuracy=1e-6):
+            from repro.mle import LikelihoodEvaluator
+
+            ev = LikelihoodEvaluator(locs, z, truth, variant="tlr")
+            assert ev.tile_size == 25
+            assert ev.acc == 1e-6
+            val = ev(truth.theta)
+        assert np.isfinite(val)
+
+    def test_prediction_variants_close(self):
+        locs = generate_irregular_grid(150, seed=13)
+        truth = MaternCovariance(1.0, 0.1, 0.5)
+        z = sample_gaussian_field(locs, truth, seed=14)
+        new = np.array([[0.5, 0.5], [0.25, 0.75]])
+        base = predict(locs, z, new, truth, variant="full-block")
+        for variant, acc in (("full-tile", None), ("tlr", 1e-11)):
+            got = predict(locs, z, new, truth, variant=variant, acc=acc, tile_size=50)
+            np.testing.assert_allclose(got, base, atol=1e-5)
