@@ -40,6 +40,7 @@ from .kernels import (
 from .runtime import AccessMode, Runtime
 from .linalg import (
     LowRank,
+    TileDistanceCache,
     TileMatrix,
     TLRMatrix,
     tile_cholesky,
@@ -70,6 +71,7 @@ __all__ = [
     "AccessMode",
     "Runtime",
     "LowRank",
+    "TileDistanceCache",
     "TileMatrix",
     "TLRMatrix",
     "tile_cholesky",

@@ -61,6 +61,17 @@ class Config:
     runtime_engine:
         ``"threads"`` for the asynchronous pool, ``"serial"`` for
         deterministic in-order execution (debugging, tests).
+    cache_distances:
+        Reuse per-tile distance blocks across likelihood evaluations of
+        one fit (locations are fixed while theta varies, so the
+        ``pairwise_distance`` work is a one-time cost). Costs one extra
+        copy of the lower-triangular distance data in memory; values are
+        bit-identical to the uncached path.
+    parallel_generation:
+        Generate (and, for TLR, compress) covariance tiles as runtime
+        tasks fused into the factorization task graph instead of a
+        serial loop with a barrier before the Cholesky. Only takes
+        effect when an evaluator is given a :class:`~repro.runtime.Runtime`.
     cholesky_jitter:
         Diagonal regularization added by samplers (not by the MLE path)
         to keep synthetic covariance factorizations stable.
@@ -75,6 +86,8 @@ class Config:
     truncation: str = "relative"
     num_workers: int = 0
     runtime_engine: str = "threads"
+    cache_distances: bool = True
+    parallel_generation: bool = True
     cholesky_jitter: float = 1e-10
     rng_seed: int = 2018
 

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..exceptions import ShapeError
 from ..utils.validation import as_float_array, check_locations, check_positive
-from .distance import pairwise_distance
+from .distance import pairwise_distance, pairwise_distance_block
 from .matern import gaussian_correlation, matern_correlation
 
 __all__ = [
@@ -119,12 +119,41 @@ class CovarianceModel:
         (which occur in diagonal tiles of the symmetric case).
         """
         x = check_locations(x, "x")
-        y_arr = x if y is None else check_locations(y, "y")
-        xr = x[rows]
-        yc = y_arr[cols]
-        d = pairwise_distance(xr, yc, metric=self.metric)
+        y_arr = None if y is None else check_locations(y, "y")
+        d = pairwise_distance_block(x, rows, cols, y_arr, metric=self.metric)
+        return self.tile_from_distances(d, rows, cols, symmetric=y is None)
+
+    def tile_from_distances(
+        self,
+        d: np.ndarray,
+        rows: slice,
+        cols: slice,
+        *,
+        symmetric: bool = True,
+    ) -> np.ndarray:
+        """Covariance tile from a precomputed distance block.
+
+        This is the theta-dependent half of tile *generation*: distances
+        depend only on the (fixed) locations, so a per-fit
+        :class:`~repro.linalg.generation.TileDistanceCache` computes each
+        block once and every subsequent likelihood evaluation pays only
+        for this call — correlation + variance scaling (+ nugget).
+
+        Parameters
+        ----------
+        d:
+            Distance block for ``locations[rows]`` x ``locations[cols]``
+            (not mutated).
+        rows, cols:
+            The global slices the block covers; used to place the nugget
+            on true diagonal entries.
+        symmetric:
+            True when rows and columns index the *same* location set
+            (the ``y=None`` case of :meth:`tile`); only then is the
+            nugget applied.
+        """
         cov = self(d)
-        if y is None and self.nugget > 0.0:
+        if symmetric and self.nugget > 0.0:
             r0 = rows.start or 0
             c0 = cols.start or 0
             # Global indices that coincide get the nugget.
@@ -132,6 +161,19 @@ class CovarianceModel:
             cidx = np.arange(c0, c0 + cov.shape[1])
             eq = ridx[:, None] == cidx[None, :]
             cov[eq] += self.nugget
+        return cov
+
+    def matrix_from_distances(self, d: np.ndarray, *, symmetric: bool = True) -> np.ndarray:
+        """Full covariance matrix from a precomputed distance matrix.
+
+        The full-block analogue of :meth:`tile_from_distances`: with the
+        ``(n, n)`` distance matrix cached once per fit, each evaluation
+        builds ``Sigma(theta)`` without touching :func:`pairwise_distance`.
+        ``d`` is not mutated; the result is freshly allocated.
+        """
+        cov = self(d)
+        if symmetric and self.nugget > 0.0:
+            cov[np.diag_indices_from(cov)] += self.nugget
         return cov
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -27,6 +27,7 @@ __all__ = [
     "haversine",
     "great_circle_distance_matrix",
     "pairwise_distance",
+    "pairwise_distance_block",
     "METRICS",
 ]
 
@@ -166,3 +167,27 @@ def pairwise_distance(
     except KeyError:
         raise ShapeError(f"unknown metric {metric!r}; expected one of {sorted(METRICS)}") from None
     return fn(x, y)
+
+
+def pairwise_distance_block(
+    x: np.ndarray,
+    rows: slice,
+    cols: slice,
+    y: Optional[np.ndarray] = None,
+    *,
+    metric: str = "euclidean",
+) -> np.ndarray:
+    """Distance block between ``x[rows]`` and ``y[cols]`` (``y`` defaults to ``x``).
+
+    The single code path used both for on-demand tile generation
+    (:meth:`repro.kernels.covariance.CovarianceModel.tile`) and for the
+    per-fit distance cache
+    (:class:`repro.linalg.generation.TileDistanceCache`), so cached and
+    direct generation produce bit-identical blocks.
+
+    Both operands are passed explicitly (never the ``y=None`` symmetric
+    fast path), matching the historical per-tile behaviour even for
+    diagonal blocks.
+    """
+    y_arr = x if y is None else y
+    return pairwise_distance(x[rows], y_arr[cols], metric=metric)

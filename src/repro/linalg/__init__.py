@@ -9,6 +9,11 @@ Three families, mirroring the paper's three computation variants:
 * ``compression`` + ``tlr_*`` — the **TLR** data format and algorithms
   (HiCMA substitute): per-tile low-rank compression (SVD / RSVD / ACA),
   TLR Cholesky with recompression, TLR solves and matvec.
+
+``generation`` is the covariance *generation pipeline* shared by the tile
+and TLR variants: a per-fit :class:`~repro.linalg.generation.TileDistanceCache`
+amortizing pairwise-distance work across likelihood evaluations, and
+task-parallel generation fused into the factorization task graph.
 """
 
 from .blocklapack import (
@@ -24,8 +29,24 @@ from .tlr_matrix import TLRMatrix
 from .tlr_cholesky import tlr_cholesky, logdet_from_tlr_factor
 from .tlr_solve import tlr_cholesky_solve, tlr_solve_triangular
 from .tlr_matvec import tlr_symmetric_matvec
+from .generation import (
+    TileDistanceCache,
+    empty_tile_matrix,
+    empty_tlr_matrix,
+    generate_tile_matrix,
+    generate_tlr_matrix,
+    insert_tile_generation_tasks,
+    insert_tlr_generation_tasks,
+)
 
 __all__ = [
+    "TileDistanceCache",
+    "empty_tile_matrix",
+    "empty_tlr_matrix",
+    "generate_tile_matrix",
+    "generate_tlr_matrix",
+    "insert_tile_generation_tasks",
+    "insert_tlr_generation_tasks",
     "block_cholesky",
     "block_cholesky_solve",
     "block_logdet_from_factor",

@@ -22,7 +22,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import ShapeError
+from ..exceptions import NotPositiveDefiniteError, ShapeError
 from ..runtime import AccessMode, Runtime
 from .tile_matrix import TileMatrix
 from .tile_ops import gemm_codelet, potrf_codelet, syrk_codelet, trsm_codelet
@@ -44,11 +44,16 @@ def _serial_tile_cholesky(a: TileMatrix) -> None:
                 gemm_codelet(aik, a.tile(j, k), a.tile(i, j))
 
 
-def _parallel_tile_cholesky(a: TileMatrix, runtime: Runtime) -> None:
+def _parallel_tile_cholesky(
+    a: TileMatrix,
+    runtime: Runtime,
+    handles: Optional[Dict[Tuple[int, int], object]] = None,
+) -> None:
     nt = a.nt
-    handles: Dict[Tuple[int, int], object] = {}
-    for i, j, tile in a.iter_stored():
-        handles[(i, j)] = runtime.register(tile, name=f"A[{i},{j}]")
+    if handles is None:
+        handles = {}
+        for i, j, tile in a.iter_stored():
+            handles[(i, j)] = runtime.register(tile, name=f"A[{i},{j}]")
     R, RW = AccessMode.READ, AccessMode.READWRITE
     for k in range(nt):
         base = nt - k
@@ -87,7 +92,12 @@ def _parallel_tile_cholesky(a: TileMatrix, runtime: Runtime) -> None:
         runtime.tracker.reset()
 
 
-def tile_cholesky(a: TileMatrix, runtime: Optional[Runtime] = None) -> TileMatrix:
+def tile_cholesky(
+    a: TileMatrix,
+    runtime: Optional[Runtime] = None,
+    *,
+    handles: Optional[Dict[Tuple[int, int], object]] = None,
+) -> TileMatrix:
     """Factor a lower-symmetric tile matrix in place: ``A = L L^T``.
 
     Parameters
@@ -97,6 +107,13 @@ def tile_cholesky(a: TileMatrix, runtime: Optional[Runtime] = None) -> TileMatri
         into its lower tile Cholesky factor.
     runtime:
         Optional task runtime; serial loop when omitted.
+    handles:
+        Pre-registered ``(i, j) -> DataHandle`` map for ``a``'s tiles
+        (requires ``runtime``). Pass the handles returned by
+        :func:`~repro.linalg.generation.insert_tile_generation_tasks` to
+        fuse generation into this factorization's task graph: each
+        factorization task then depends on its tile's generation task
+        rather than on a global barrier.
 
     Returns
     -------
@@ -105,16 +122,30 @@ def tile_cholesky(a: TileMatrix, runtime: Optional[Runtime] = None) -> TileMatri
     if not a.symmetric_lower:
         raise ShapeError("tile_cholesky expects a symmetric_lower TileMatrix")
     if runtime is None:
+        if handles is not None:
+            raise ShapeError("handles require a runtime")
         _serial_tile_cholesky(a)
     else:
-        _parallel_tile_cholesky(a, runtime)
+        _parallel_tile_cholesky(a, runtime, handles)
     return a
 
 
 def logdet_from_tile_factor(factor: TileMatrix) -> float:
-    """``log |A|`` from a tile Cholesky factor (sum over diagonal tiles)."""
+    """``log |A|`` from a tile Cholesky factor (sum over diagonal tiles).
+
+    Raises
+    ------
+    NotPositiveDefiniteError
+        If any diagonal entry of the factor is not strictly positive —
+        taking ``log`` would otherwise silently turn the log-likelihood
+        into NaN instead of triggering the evaluator's penalty path.
+    """
     total = 0.0
     for k in range(factor.nt):
         diag = np.diagonal(factor.tile(k, k))
+        if not np.all(diag > 0.0):
+            raise NotPositiveDefiniteError(
+                f"tile Cholesky factor has a non-positive diagonal in tile ({k},{k})"
+            )
         total += float(np.sum(np.log(diag)))
     return 2.0 * total

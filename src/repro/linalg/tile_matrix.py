@@ -22,7 +22,27 @@ import numpy as np
 from ..exceptions import ShapeError
 from ..utils.validation import check_square
 
-__all__ = ["TileGrid", "TileMatrix"]
+__all__ = ["TileGrid", "TileMatrix", "materialize_tile"]
+
+
+def materialize_tile(
+    raw: np.ndarray, expected: Tuple[int, int], i: int, j: int
+) -> np.ndarray:
+    """Validate and take ownership of a generated tile buffer.
+
+    Generators may hand back views into a caller-owned dense matrix (e.g.
+    ``TLRMatrix.from_dense``); tiles must own contiguous float64 storage
+    because solvers factor them in place.
+    """
+    tile = np.asarray(raw, dtype=np.float64)
+    if tile.base is not None or not tile.flags["C_CONTIGUOUS"]:
+        tile = tile.copy()
+    if tile.shape != tuple(expected):
+        raise ShapeError(
+            f"generator returned shape {tile.shape} for tile ({i},{j}), "
+            f"expected {tuple(expected)}"
+        )
+    return tile
 
 
 @dataclass(frozen=True)
@@ -134,30 +154,36 @@ class TileMatrix:
         generate: Callable[[slice, slice], np.ndarray],
         *,
         symmetric_lower: bool = False,
+        runtime=None,
     ) -> "TileMatrix":
         """Build tiles by calling ``generate(row_slice, col_slice)``.
 
         This is the covariance *generation* stage of ExaGeoStat: the dense
         matrix never exists as a single allocation.
+
+        Parameters
+        ----------
+        runtime:
+            Optional :class:`~repro.runtime.Runtime`. When given, one
+            generation task per tile is inserted (tiles are independent,
+            so all tasks run concurrently) and the call blocks until all
+            tiles are materialized. Tile contents are identical to the
+            serial path.
         """
+        if runtime is not None:
+            from .generation import generate_tile_matrix  # local: avoid cycle
+
+            return generate_tile_matrix(
+                n, nb, generate, runtime, symmetric_lower=symmetric_lower
+            )
         grid = TileGrid(n, nb)
         tm = cls(grid, symmetric_lower=symmetric_lower)
         for i in range(grid.nt):
             jmax = i + 1 if symmetric_lower else grid.nt
             for j in range(jmax):
                 raw = generate(grid.tile_slice(i), grid.tile_slice(j))
-                # Own the buffer: generators may hand back views into a
-                # caller-owned dense matrix.
-                tile = np.asarray(raw, dtype=np.float64)
-                if tile.base is not None or not tile.flags["C_CONTIGUOUS"]:
-                    tile = tile.copy()
                 expected = (grid.tile_size(i), grid.tile_size(j))
-                if tile.shape != expected:
-                    raise ShapeError(
-                        f"generator returned shape {tile.shape} for tile ({i},{j}), "
-                        f"expected {expected}"
-                    )
-                tm.set_tile(i, j, tile)
+                tm.set_tile(i, j, materialize_tile(raw, expected, i, j))
         return tm
 
     # ------------------------------------------------------------ accessors

@@ -22,6 +22,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..exceptions import NotPositiveDefiniteError, ShapeError
 from ..runtime import AccessMode, Runtime
 from .tlr_matrix import TLRMatrix
 from .tlr_ops import (
@@ -49,15 +50,21 @@ def _serial_tlr_cholesky(a: TLRMatrix, acc: float, rule: Optional[str]) -> None:
 
 
 def _parallel_tlr_cholesky(
-    a: TLRMatrix, acc: float, rule: Optional[str], runtime: Runtime
+    a: TLRMatrix,
+    acc: float,
+    rule: Optional[str],
+    runtime: Runtime,
+    handles: Optional[Tuple[Dict[int, object], Dict[Tuple[int, int], object]]] = None,
 ) -> None:
     nt = a.nt
-    dh: Dict[int, object] = {
-        k: runtime.register(a.diag[k], name=f"D[{k}]") for k in range(nt)
-    }
-    lh: Dict[Tuple[int, int], object] = {
-        key: runtime.register(lr, name=f"L[{key[0]},{key[1]}]") for key, lr in a.low.items()
-    }
+    if handles is not None:
+        dh, lh = handles
+    else:
+        dh = {k: runtime.register(a.diag[k], name=f"D[{k}]") for k in range(nt)}
+        lh = {
+            key: runtime.register(lr, name=f"L[{key[0]},{key[1]}]")
+            for key, lr in a.low.items()
+        }
     R, RW = AccessMode.READ, AccessMode.READWRITE
     for k in range(nt):
         base = nt - k
@@ -101,6 +108,7 @@ def tlr_cholesky(
     *,
     rule: Optional[str] = None,
     runtime: Optional[Runtime] = None,
+    handles: Optional[Tuple[Dict[int, object], Dict[Tuple[int, int], object]]] = None,
 ) -> TLRMatrix:
     """Factor a symmetric TLR matrix in place: ``A = L L^T`` in TLR form.
 
@@ -117,6 +125,11 @@ def tlr_cholesky(
         Truncation rule override (``"relative"`` / ``"absolute"``).
     runtime:
         Optional task runtime for parallel execution.
+    handles:
+        Pre-registered ``(diag_handles, low_handles)`` maps for ``a``'s
+        tiles (requires ``runtime``). Pass the handles returned by
+        :func:`~repro.linalg.generation.insert_tlr_generation_tasks` to
+        fuse generation+compression into this factorization's task graph.
 
     Returns
     -------
@@ -124,16 +137,31 @@ def tlr_cholesky(
     """
     acc_val = a.acc if acc is None else float(acc)
     if runtime is None:
+        if handles is not None:
+            raise ShapeError("handles require a runtime")
         _serial_tlr_cholesky(a, acc_val, rule)
     else:
-        _parallel_tlr_cholesky(a, acc_val, rule, runtime)
+        _parallel_tlr_cholesky(a, acc_val, rule, runtime, handles)
     return a
 
 
 def logdet_from_tlr_factor(factor: TLRMatrix) -> float:
-    """``log |A|`` from a TLR Cholesky factor's dense diagonal tiles."""
+    """``log |A|`` from a TLR Cholesky factor's dense diagonal tiles.
+
+    Raises
+    ------
+    NotPositiveDefiniteError
+        If any diagonal entry of the factor is not strictly positive —
+        taking ``log`` would otherwise silently propagate NaN into the
+        log-likelihood instead of triggering the evaluator's penalty
+        path.
+    """
     total = 0.0
     for k in range(factor.nt):
         diag = np.diagonal(factor.diag[k])
+        if not np.all(diag > 0.0):
+            raise NotPositiveDefiniteError(
+                f"TLR Cholesky factor has a non-positive diagonal in tile ({k},{k})"
+            )
         total += float(np.sum(np.log(diag)))
     return 2.0 * total

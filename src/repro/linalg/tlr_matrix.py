@@ -22,7 +22,7 @@ import numpy as np
 from ..config import get_config
 from ..exceptions import ShapeError
 from .compression import LowRank, compress
-from .tile_matrix import TileGrid
+from .tile_matrix import TileGrid, materialize_tile
 
 __all__ = ["TLRMatrix"]
 
@@ -60,6 +60,7 @@ class TLRMatrix:
         *,
         method: Optional[str] = None,
         rule: Optional[str] = None,
+        runtime=None,
     ) -> "TLRMatrix":
         """Build from a tile generator, compressing off-diagonals on the fly.
 
@@ -72,25 +73,33 @@ class TLRMatrix:
             Accuracy threshold (default: configured ``tlr_accuracy``).
         method, rule:
             Compression method / truncation rule overrides.
+        runtime:
+            Optional :class:`~repro.runtime.Runtime`. When given, one
+            generate+compress task per tile is inserted (tiles are
+            independent, so generation *and* compression run
+            concurrently) and the call blocks until the matrix is
+            complete. Contents are identical to the serial path.
         """
         cfg = get_config()
         acc = cfg.tlr_accuracy if acc is None else float(acc)
+        # Resolve config-dependent choices here: runtime workers must not
+        # consult the (thread-local) config.
+        method = method or cfg.compression_method
+        rule = rule or cfg.truncation
+        if runtime is not None:
+            from .generation import generate_tlr_matrix  # local: avoid cycle
+
+            return generate_tlr_matrix(
+                n, nb, generate, acc, runtime, method=method, rule=rule
+            )
         grid = TileGrid(n, nb)
         tlr = cls(grid, acc)
         for i in range(grid.nt):
             for j in range(i + 1):
-                raw = generate(grid.tile_slice(i), grid.tile_slice(j))
-                # Own the buffer: generators may hand back views into a
-                # caller-owned dense matrix, and diagonal tiles are later
-                # factored in place.
-                dense = np.asarray(raw, dtype=np.float64)
-                if dense.base is not None or not dense.flags["C_CONTIGUOUS"]:
-                    dense = dense.copy()
                 expected = (grid.tile_size(i), grid.tile_size(j))
-                if dense.shape != expected:
-                    raise ShapeError(
-                        f"generator returned {dense.shape} for tile ({i},{j}), expected {expected}"
-                    )
+                dense = materialize_tile(
+                    generate(grid.tile_slice(i), grid.tile_slice(j)), expected, i, j
+                )
                 if i == j:
                     tlr.diag[i] = dense
                 else:

@@ -92,7 +92,12 @@ class MLEstimator:
         Reorder locations along the Morton curve before assembling
         covariances (ExaGeoStat always does; disabling it is an ablation).
     runtime:
-        Optional shared task runtime for parallel factorizations.
+        Optional shared task runtime for parallel factorizations (and,
+        with ``parallel_generation``, fused parallel generation).
+    cache_distances, parallel_generation:
+        Generation-pipeline overrides forwarded to
+        :class:`~repro.mle.loglik.LikelihoodEvaluator` (``None`` uses the
+        configured defaults).
 
     Examples
     --------
@@ -120,6 +125,8 @@ class MLEstimator:
         use_morton: bool = True,
         runtime: Optional[Runtime] = None,
         compression_method: Optional[str] = None,
+        cache_distances: Optional[bool] = None,
+        parallel_generation: Optional[bool] = None,
     ) -> None:
         locations = check_locations(locations, "locations")
         z = check_vector(as_float_array(z, "z"), locations.shape[0], "z")
@@ -140,6 +147,8 @@ class MLEstimator:
             tile_size=tile_size,
             runtime=runtime,
             compression_method=compression_method,
+            cache_distances=cache_distances,
+            parallel_generation=parallel_generation,
         )
 
     @classmethod

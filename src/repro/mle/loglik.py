@@ -11,6 +11,23 @@ substrate:
 The evaluator records per-stage times (generation / factorization /
 solve) and evaluation counts; the benchmark harness reports the paper's
 "time of one iteration" from these numbers.
+
+Generation pipeline (``cache_distances`` / ``parallel_generation``)
+-------------------------------------------------------------------
+Locations are fixed for a whole fit, so per-tile distance blocks are
+cached across evaluations (:class:`~repro.linalg.generation.TileDistanceCache`;
+the full-block variant caches the full distance matrix) — after the
+first evaluation, generation reduces to applying the correlation
+function to cached distances. When a :class:`~repro.runtime.Runtime` is
+attached and ``parallel_generation`` is on, tile/TLR generation is
+additionally *fused* into the factorization task graph: one
+generate(+compress) task per tile, and the Cholesky tasks on tile
+``(i, j)`` depend on that tile's generation task instead of a global
+barrier. In fused mode the ``generation`` stage time is task-submission
+time only — the generation work itself overlaps the factorization and
+is accounted in the ``factorization`` stage wait. Both knobs preserve
+values: cached tiles are bit-identical, and fused execution computes the
+same factorization.
 """
 
 from __future__ import annotations
@@ -23,9 +40,17 @@ import numpy as np
 from ..config import get_config
 from ..exceptions import ConfigurationError, NotPositiveDefiniteError
 from ..kernels.covariance import CovarianceModel
+from ..kernels.distance import pairwise_distance
 from ..linalg.blocklapack import (
     block_cholesky,
     block_logdet_from_factor,
+)
+from ..linalg.generation import (
+    TileDistanceCache,
+    empty_tile_matrix,
+    empty_tlr_matrix,
+    insert_tile_generation_tasks,
+    insert_tlr_generation_tasks,
 )
 from ..linalg.tile_cholesky import logdet_from_tile_factor, tile_cholesky
 from ..linalg.tile_matrix import TileMatrix
@@ -101,6 +126,14 @@ class LikelihoodEvaluator:
         Optional task runtime shared across evaluations (tile/TLR).
     compression_method:
         Per-tile compressor for the TLR variant.
+    cache_distances:
+        Reuse distance blocks across evaluations (default: configured
+        ``cache_distances``). Values are bit-identical either way.
+    parallel_generation:
+        With a runtime attached, generate (and compress) tiles as tasks
+        fused into the factorization graph (default: configured
+        ``parallel_generation``). No effect without a runtime or for the
+        full-block variant.
 
     Notes
     -----
@@ -120,6 +153,8 @@ class LikelihoodEvaluator:
         tile_size: Optional[int] = None,
         runtime: Optional[Runtime] = None,
         compression_method: Optional[str] = None,
+        cache_distances: Optional[bool] = None,
+        parallel_generation: Optional[bool] = None,
     ) -> None:
         if variant not in VARIANTS:
             raise ConfigurationError(f"variant must be one of {VARIANTS}, got {variant!r}")
@@ -132,11 +167,24 @@ class LikelihoodEvaluator:
         self.tile_size = cfg.tile_size if tile_size is None else int(tile_size)
         self.runtime = runtime
         self.compression_method = compression_method or cfg.compression_method
+        self.truncation_rule = cfg.truncation
+        self.cache_distances = (
+            cfg.cache_distances if cache_distances is None else bool(cache_distances)
+        )
+        self.parallel_generation = (
+            cfg.parallel_generation if parallel_generation is None else bool(parallel_generation)
+        )
         self.n_evals = 0
         self.n_failures = 0
         self.times = StageTimes()
         self._n = self.locations.shape[0]
         self._const = -0.5 * self._n * math.log(2.0 * math.pi)
+        self.distance_cache: Optional[TileDistanceCache] = None
+        if self.cache_distances and variant in ("full-tile", "tlr"):
+            self.distance_cache = TileDistanceCache(
+                self.locations, self.tile_size, metric=model.metric
+            )
+        self._full_distances: Optional[np.ndarray] = None  # full-block cache
 
     # ------------------------------------------------------------- calls
     def __call__(self, theta: np.ndarray) -> float:
@@ -159,10 +207,29 @@ class LikelihoodEvaluator:
         """``-loglik(theta)`` for minimizers."""
         return -self(theta)
 
+    # ----------------------------------------------------------- plumbing
+    def _tile_generator(self, model: CovarianceModel):
+        """Tile generator for ``model``: cached distances when enabled."""
+        if self.distance_cache is not None:
+            return self.distance_cache.generator(model)
+        return lambda rs, cs: model.tile(self.locations, rs, cs)
+
+    @property
+    def _fused(self) -> bool:
+        """True when generation is fused into the factorization graph."""
+        return self.runtime is not None and self.parallel_generation
+
     # ---------------------------------------------------------- variants
     def _eval_full_block(self, model: CovarianceModel) -> tuple[float, float]:
         with self.times.stage("generation"):
-            sigma = model.matrix(self.locations)
+            if self.cache_distances:
+                if self._full_distances is None:
+                    self._full_distances = pairwise_distance(
+                        self.locations, metric=model.metric
+                    )
+                sigma = model.matrix_from_distances(self._full_distances)
+            else:
+                sigma = model.matrix(self.locations)
         with self.times.stage("factorization"):
             factor = block_cholesky(sigma, overwrite=True)
         with self.times.stage("solve"):
@@ -171,31 +238,50 @@ class LikelihoodEvaluator:
         return logdet, float(half @ half)
 
     def _eval_full_tile(self, model: CovarianceModel) -> tuple[float, float]:
-        with self.times.stage("generation"):
-            tiles = TileMatrix.from_generator(
-                self._n,
-                self.tile_size,
-                lambda rs, cs: model.tile(self.locations, rs, cs),
-                symmetric_lower=True,
-            )
-        with self.times.stage("factorization"):
-            tile_cholesky(tiles, runtime=self.runtime)
+        generate = self._tile_generator(model)
+        if self._fused:
+            with self.times.stage("generation"):
+                tiles = empty_tile_matrix(self._n, self.tile_size, symmetric_lower=True)
+                handles = insert_tile_generation_tasks(self.runtime, tiles, generate)
+            with self.times.stage("factorization"):
+                tile_cholesky(tiles, runtime=self.runtime, handles=handles)
+        else:
+            with self.times.stage("generation"):
+                tiles = TileMatrix.from_generator(
+                    self._n, self.tile_size, generate, symmetric_lower=True
+                )
+            with self.times.stage("factorization"):
+                tile_cholesky(tiles, runtime=self.runtime)
         with self.times.stage("solve"):
             half = tile_solve_triangular(tiles, self.z, trans=False)
             logdet = logdet_from_tile_factor(tiles)
         return logdet, float(half @ half)
 
     def _eval_tlr(self, model: CovarianceModel) -> tuple[float, float]:
-        with self.times.stage("generation"):
-            tlr = TLRMatrix.from_generator(
-                self._n,
-                self.tile_size,
-                lambda rs, cs: model.tile(self.locations, rs, cs),
-                acc=self.acc,
-                method=self.compression_method,
-            )
-        with self.times.stage("factorization"):
-            tlr_cholesky(tlr, runtime=self.runtime)
+        generate = self._tile_generator(model)
+        if self._fused:
+            with self.times.stage("generation"):
+                tlr = empty_tlr_matrix(self._n, self.tile_size, self.acc)
+                handles = insert_tlr_generation_tasks(
+                    self.runtime,
+                    tlr,
+                    generate,
+                    method=self.compression_method,
+                    rule=self.truncation_rule,
+                )
+            with self.times.stage("factorization"):
+                tlr_cholesky(tlr, runtime=self.runtime, handles=handles)
+        else:
+            with self.times.stage("generation"):
+                tlr = TLRMatrix.from_generator(
+                    self._n,
+                    self.tile_size,
+                    generate,
+                    acc=self.acc,
+                    method=self.compression_method,
+                )
+            with self.times.stage("factorization"):
+                tlr_cholesky(tlr, runtime=self.runtime)
         with self.times.stage("solve"):
             half = tlr_solve_triangular(tlr, self.z, trans=False)
             logdet = logdet_from_tlr_factor(tlr)

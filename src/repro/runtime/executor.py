@@ -142,17 +142,27 @@ class Runtime:
         return task
 
     def wait_all(self) -> None:
-        """Block until every inserted task finished; re-raise first error."""
+        """Block until every inserted task finished; re-raise first error.
+
+        Purely notification-driven: completion of the last in-flight task
+        signals ``_all_done`` (no polling — per-task overhead is the cost
+        of a notify, not of a timeout slice).
+        """
         if self.engine == "serial":
             self._raise_pending()
             return
         with self._lock:
             while self._inflight > 0:
-                self._all_done.wait(timeout=0.5)
+                self._all_done.wait()
         self._raise_pending()
 
     def shutdown(self, *, wait: bool = True) -> None:
-        """Stop the workers. The runtime cannot be reused afterwards."""
+        """Stop the workers. The runtime cannot be reused afterwards.
+
+        Unlike :meth:`wait_all`, the drain loop here keeps a generous
+        safety timeout: shutdown must terminate even if a worker thread
+        died abnormally and can no longer signal completion.
+        """
         if self._shutdown:
             return
         if wait and self.engine == "threads":
@@ -187,7 +197,11 @@ class Runtime:
             with self._lock:
                 task = self._queue.pop()
                 while task is None and not self._shutdown:
-                    self._work_available.wait(timeout=0.2)
+                    # Notification-driven: every ready-queue push and the
+                    # shutdown flag flip each notify this condition, so no
+                    # poll timeout is needed (workers sleep only while the
+                    # queue is verifiably empty, under the lock).
+                    self._work_available.wait()
                     task = self._queue.pop()
                 if task is None and self._shutdown:
                     return

@@ -1,0 +1,68 @@
+"""Regression tests: log-determinants must reject non-SPD factors.
+
+The seed implementation took ``np.log`` of the factor diagonal without a
+positivity check, so a Cholesky that silently produced a zero/negative
+diagonal entry (or NaN) propagated NaN into the log-likelihood instead
+of triggering the evaluator's penalty path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotPositiveDefiniteError
+from repro.linalg.tile_cholesky import logdet_from_tile_factor
+from repro.linalg.tile_matrix import TileMatrix
+from repro.linalg.tlr_cholesky import logdet_from_tlr_factor
+from repro.linalg.tlr_matrix import TLRMatrix
+
+
+def _spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestTileLogdetGuard:
+    def test_valid_factor_matches_dense(self):
+        a = _spd(12)
+        factor = np.linalg.cholesky(a)
+        tiles = TileMatrix.from_dense(factor, 5, symmetric_lower=False)
+        # Only diagonal tiles matter for the logdet.
+        assert logdet_from_tile_factor(tiles) == pytest.approx(
+            np.linalg.slogdet(a)[1], rel=1e-12
+        )
+
+    @pytest.mark.parametrize("bad", [0.0, -2.0, np.nan])
+    def test_non_positive_diagonal_raises(self, bad):
+        factor = np.linalg.cholesky(_spd(12))
+        factor[7, 7] = bad
+        tiles = TileMatrix.from_dense(factor, 5, symmetric_lower=False)
+        with pytest.raises(NotPositiveDefiniteError):
+            logdet_from_tile_factor(tiles)
+
+
+class TestTLRLogdetGuard:
+    def test_valid_factor_matches_dense(self):
+        a = _spd(12)
+        factor = np.linalg.cholesky(a)
+        tlr = TLRMatrix.from_dense(a, 5, acc=1e-12)
+        for k in range(tlr.nt):
+            sl = tlr.grid.tile_slice(k)
+            tlr.diag[k] = factor[sl, sl].copy()
+        assert logdet_from_tlr_factor(tlr) == pytest.approx(
+            np.linalg.slogdet(a)[1], rel=1e-12
+        )
+
+    @pytest.mark.parametrize("bad", [0.0, -1.5, np.nan])
+    def test_non_positive_diagonal_raises(self, bad):
+        a = _spd(12)
+        factor = np.linalg.cholesky(a)
+        tlr = TLRMatrix.from_dense(a, 5, acc=1e-12)
+        for k in range(tlr.nt):
+            sl = tlr.grid.tile_slice(k)
+            tlr.diag[k] = factor[sl, sl].copy()
+        tlr.diag[1][0, 0] = bad
+        with pytest.raises(NotPositiveDefiniteError):
+            logdet_from_tlr_factor(tlr)

@@ -1,0 +1,62 @@
+"""Micro-benchmark: per-task runtime overhead must stay notification-fast.
+
+The worker loop and ``wait_all`` are purely notification-driven (no poll
+timeouts); a regression back to timed polling (the seed's 0.2 s / 0.5 s
+waits) would push the per-task latency of a dependency chain into the
+hundreds of milliseconds. The bounds below are two orders of magnitude
+above healthy notify latency, so the test is loose enough for loaded CI
+machines yet fails loudly on any return to polling.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.runtime import AccessMode, Runtime
+
+RW = AccessMode.READWRITE
+
+
+def _bump(x):
+    x += 1.0
+
+
+def test_chained_task_overhead():
+    """A strict dependency chain hands off between tasks via notify."""
+    n_tasks = 200
+    with Runtime(num_workers=2) as rt:
+        h = rt.register(np.zeros(1))
+        t0 = time.perf_counter()
+        for _ in range(n_tasks):
+            rt.insert_task(_bump, [(h, RW)])
+        rt.wait_all()
+        elapsed = time.perf_counter() - t0
+        assert float(h.get()[0]) == n_tasks
+    per_task = elapsed / n_tasks
+    assert per_task < 5e-3, f"per-task overhead {per_task * 1e3:.2f} ms (polling regression?)"
+
+
+def test_wait_all_wakeup_latency():
+    """wait_all must return promptly after the last task finishes."""
+    with Runtime(num_workers=2) as rt:
+        h = rt.register(np.zeros(1))
+        rt.insert_task(_bump, [(h, RW)])
+        t0 = time.perf_counter()
+        rt.wait_all()
+        latency = time.perf_counter() - t0
+    assert latency < 0.25, f"wait_all took {latency:.3f}s for one trivial task"
+
+
+def test_independent_task_throughput():
+    """Many independent no-op tasks: total wall time stays sub-second."""
+    n_tasks = 300
+    with Runtime(num_workers=4) as rt:
+        handles = [rt.register(np.zeros(1)) for _ in range(n_tasks)]
+        t0 = time.perf_counter()
+        for h in handles:
+            rt.insert_task(_bump, [(h, RW)])
+        rt.wait_all()
+        elapsed = time.perf_counter() - t0
+    assert elapsed / n_tasks < 5e-3
