@@ -50,6 +50,7 @@ from .mle import (
     FitResult,
     LikelihoodEvaluator,
     MLEstimator,
+    PredictionEngine,
     exact_loglikelihood,
     mean_squared_error,
     predict,
@@ -78,6 +79,7 @@ __all__ = [
     "tlr_cholesky",
     "MLEstimator",
     "FitResult",
+    "PredictionEngine",
     "LikelihoodEvaluator",
     "exact_loglikelihood",
     "predict",

@@ -66,12 +66,17 @@ class Config:
         one fit (locations are fixed while theta varies, so the
         ``pairwise_distance`` work is a one-time cost). Costs one extra
         copy of the lower-triangular distance data in memory; values are
-        bit-identical to the uncached path.
+        bit-identical to the uncached path. The same knob governs the
+        prediction path: a
+        :class:`~repro.mle.prediction_engine.PredictionEngine` caches
+        ``Sigma_22`` distance blocks and ``Sigma_12`` cross-distance
+        matrices across predict calls.
     parallel_generation:
         Generate (and, for TLR, compress) covariance tiles as runtime
         tasks fused into the factorization task graph instead of a
         serial loop with a barrier before the Cholesky. Only takes
-        effect when an evaluator is given a :class:`~repro.runtime.Runtime`.
+        effect when an evaluator — or a prediction engine — is given a
+        :class:`~repro.runtime.Runtime`.
     cholesky_jitter:
         Diagonal regularization added by samplers (not by the MLE path)
         to keep synthetic covariance factorizations stable.

@@ -30,9 +30,12 @@ from .tlr_cholesky import tlr_cholesky, logdet_from_tlr_factor
 from .tlr_solve import tlr_cholesky_solve, tlr_solve_triangular
 from .tlr_matvec import tlr_symmetric_matvec
 from .generation import (
+    CrossDistanceCache,
     TileDistanceCache,
     empty_tile_matrix,
     empty_tlr_matrix,
+    generate_and_factor_tile_matrix,
+    generate_and_factor_tlr_matrix,
     generate_tile_matrix,
     generate_tlr_matrix,
     insert_tile_generation_tasks,
@@ -40,11 +43,14 @@ from .generation import (
 )
 
 __all__ = [
+    "CrossDistanceCache",
     "TileDistanceCache",
     "empty_tile_matrix",
     "empty_tlr_matrix",
     "generate_tile_matrix",
     "generate_tlr_matrix",
+    "generate_and_factor_tile_matrix",
+    "generate_and_factor_tlr_matrix",
     "insert_tile_generation_tasks",
     "insert_tlr_generation_tasks",
     "block_cholesky",

@@ -32,13 +32,15 @@ task-parallel generation produces identical matrices to the serial loop.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..config import get_config
 from ..kernels.covariance import CovarianceModel
-from ..kernels.distance import pairwise_distance_block
+from ..kernels.distance import pairwise_distance, pairwise_distance_block
 from ..runtime import AccessMode, Runtime
 from ..runtime.handle import DataHandle
 from ..utils.validation import check_locations
@@ -48,10 +50,13 @@ from .tlr_matrix import TLRMatrix
 
 __all__ = [
     "TileDistanceCache",
+    "CrossDistanceCache",
     "insert_tile_generation_tasks",
     "insert_tlr_generation_tasks",
     "generate_tile_matrix",
     "generate_tlr_matrix",
+    "generate_and_factor_tile_matrix",
+    "generate_and_factor_tlr_matrix",
     "empty_tile_matrix",
     "empty_tlr_matrix",
 ]
@@ -146,6 +151,87 @@ class TileDistanceCache:
         return (
             f"TileDistanceCache(n={self.grid.n}, nb={self.grid.nb}, "
             f"blocks={self.n_blocks}, {self.nbytes / 1e6:.1f} MB)"
+        )
+
+
+class CrossDistanceCache:
+    """Cache of cross-distance matrices ``d(targets, locations)``.
+
+    The prediction operation (paper eq. (4)) builds the ``m x n``
+    cross-covariance ``Sigma_12`` between the prediction targets and the
+    fixed training locations on every call. Targets are routinely reused
+    — repeated prediction over realizations of one fitted model, or a
+    fixed evaluation grid — so this cache keys the (theta-independent)
+    distance matrix by a content digest of the target coordinates, the
+    cross analogue of :class:`TileDistanceCache`.
+
+    Parameters
+    ----------
+    locations:
+        ``(n, d)`` training locations (fixed for the cache's lifetime).
+    metric:
+        Distance metric, as in :func:`~repro.kernels.distance.pairwise_distance`.
+    max_entries:
+        Bound on retained target sets (least-recently-used eviction);
+        each entry holds an ``m x n`` float64 matrix.
+    """
+
+    def __init__(
+        self, locations: np.ndarray, *, metric: str = "euclidean", max_entries: int = 8
+    ) -> None:
+        self.locations = check_locations(locations, "locations")
+        self.metric = metric
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Tuple[Tuple[int, ...], bytes], np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(targets: np.ndarray) -> Tuple[Tuple[int, ...], bytes]:
+        return (targets.shape, hashlib.sha1(targets.tobytes()).digest())
+
+    def matrix(self, targets: np.ndarray) -> np.ndarray:
+        """Distance matrix ``targets x locations`` (cached by content).
+
+        The returned array is shared across calls — callers must treat it
+        as read-only (covariance application allocates fresh output).
+        """
+        t = check_locations(targets, "targets")
+        key = self._key(t)
+        d = self._entries.get(key)
+        if d is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return d
+        self.misses += 1
+        d = pairwise_distance(t, self.locations, metric=self.metric)
+        self._entries[key] = d
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return d
+
+    def clear(self) -> None:
+        """Drop all cached target sets (and hit/miss counters)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def n_entries(self) -> int:
+        """Number of cached target sets."""
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by cached cross-distance matrices."""
+        return int(sum(d.nbytes for d in self._entries.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CrossDistanceCache(n={self.locations.shape[0]}, "
+            f"entries={self.n_entries}, {self.nbytes / 1e6:.1f} MB)"
         )
 
 
@@ -311,6 +397,89 @@ def insert_tlr_generation_tasks(
             priority=4 * (nt - j),
         )
     return dh, lh
+
+
+def generate_and_factor_tile_matrix(
+    n: int,
+    nb: int,
+    generate: Callable[[slice, slice], np.ndarray],
+    *,
+    runtime: Optional[Runtime] = None,
+    fused: bool = False,
+    times: Optional["StageTimes"] = None,
+) -> TileMatrix:
+    """Generate a symmetric tile matrix and Cholesky-factor it in place.
+
+    The generation+factorization protocol shared by the MLE hot loop
+    (:class:`~repro.mle.loglik.LikelihoodEvaluator`) and the prediction
+    path (:class:`~repro.mle.prediction_engine.PredictionEngine`):
+    with ``fused`` (and a runtime), generation tasks are inserted via
+    :func:`insert_tile_generation_tasks` and the factorization's task
+    graph depends on them per tile; otherwise generation is a serial
+    loop and the factorization runs serially or on the runtime.
+
+    ``times`` optionally accumulates the ``generation`` /
+    ``factorization`` stage split (in fused mode the ``generation``
+    stage is task-submission time only — the generation work itself
+    overlaps the factorization).
+    """
+    from ..utils.timer import StageTimes  # local: utils must not import linalg
+    from .tile_cholesky import tile_cholesky  # local: avoid import cycle
+
+    times = StageTimes() if times is None else times
+    if fused and runtime is not None:
+        with times.stage("generation"):
+            tiles = empty_tile_matrix(n, nb, symmetric_lower=True)
+            handles = insert_tile_generation_tasks(runtime, tiles, generate)
+        with times.stage("factorization"):
+            tile_cholesky(tiles, runtime=runtime, handles=handles)
+    else:
+        with times.stage("generation"):
+            tiles = TileMatrix.from_generator(n, nb, generate, symmetric_lower=True)
+        with times.stage("factorization"):
+            tile_cholesky(tiles, runtime=runtime)
+    return tiles
+
+
+def generate_and_factor_tlr_matrix(
+    n: int,
+    nb: int,
+    generate: Callable[[slice, slice], np.ndarray],
+    acc: float,
+    *,
+    method: str,
+    rule: str,
+    runtime: Optional[Runtime] = None,
+    fused: bool = False,
+    times: Optional["StageTimes"] = None,
+) -> TLRMatrix:
+    """Generate+compress a TLR matrix and Cholesky-factor it in place.
+
+    The TLR analogue of :func:`generate_and_factor_tile_matrix` (fused
+    mode additionally folds per-tile compression into the task graph).
+    ``method``/``rule`` must be pre-resolved — workers do not consult the
+    thread-local config.
+    """
+    from ..utils.timer import StageTimes  # local: utils must not import linalg
+    from .tlr_cholesky import tlr_cholesky  # local: avoid import cycle
+
+    times = StageTimes() if times is None else times
+    if fused and runtime is not None:
+        with times.stage("generation"):
+            tlr = empty_tlr_matrix(n, nb, acc)
+            handles = insert_tlr_generation_tasks(
+                runtime, tlr, generate, method=method, rule=rule
+            )
+        with times.stage("factorization"):
+            tlr_cholesky(tlr, runtime=runtime, handles=handles)
+    else:
+        with times.stage("generation"):
+            tlr = TLRMatrix.from_generator(
+                n, nb, generate, acc=acc, method=method, rule=rule
+            )
+        with times.stage("factorization"):
+            tlr_cholesky(tlr, runtime=runtime)
+    return tlr
 
 
 def generate_tile_matrix(

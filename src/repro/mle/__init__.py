@@ -17,6 +17,7 @@ accuracy threshold.
 from .loglik import LikelihoodEvaluator, exact_loglikelihood
 from .estimator import FitResult, MLEstimator
 from .prediction import conditional_variance, predict
+from .prediction_engine import PredictionEngine
 from .metrics import mean_squared_error, mean_absolute_error, root_mean_squared_error
 from .montecarlo import MonteCarloResult, run_monte_carlo
 from .fisher import FisherInformation, observed_information
@@ -28,6 +29,7 @@ __all__ = [
     "FitResult",
     "predict",
     "conditional_variance",
+    "PredictionEngine",
     "mean_squared_error",
     "mean_absolute_error",
     "root_mean_squared_error",

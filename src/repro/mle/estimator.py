@@ -15,7 +15,6 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..config import get_config
 from ..data.datasets import GeoDataset
 from ..data.morton import morton_order
 from ..kernels.covariance import CovarianceModel, MaternCovariance
@@ -27,6 +26,7 @@ from ..utils.timer import Stopwatch
 from ..utils.validation import as_float_array, check_locations, check_vector
 from .loglik import LikelihoodEvaluator
 from .prediction import predict as _predict
+from .prediction_engine import PredictionEngine
 
 __all__ = ["MLEstimator", "FitResult"]
 
@@ -130,9 +130,11 @@ class MLEstimator:
     ) -> None:
         locations = check_locations(locations, "locations")
         z = check_vector(as_float_array(z, "z"), locations.shape[0], "z")
+        self._perm: Optional[np.ndarray] = None
         if use_morton:
             perm = morton_order(locations)
             locations, z = locations[perm], z[perm]
+            self._perm = perm
         self.locations = locations
         self.z = z
         self.model = model or MaternCovariance(metric=metric)
@@ -149,7 +151,9 @@ class MLEstimator:
             compression_method=compression_method,
             cache_distances=cache_distances,
             parallel_generation=parallel_generation,
+            keep_last_factor=True,
         )
+        self._engine: Optional[PredictionEngine] = None
 
     @classmethod
     def from_dataset(cls, dataset: GeoDataset, **kwargs: object) -> "MLEstimator":
@@ -239,6 +243,49 @@ class MLEstimator:
         )
 
     # -------------------------------------------------------------- predict
+    def predictor(self, fit: FitResult) -> PredictionEngine:
+        """The :class:`PredictionEngine` bound to this fit's model.
+
+        The engine is created once per estimator and shares the fit's
+        generation pipeline: the evaluator's
+        :class:`~repro.linalg.generation.TileDistanceCache` (or cached
+        full distance matrix), the runtime, and the
+        ``cache_distances``/``parallel_generation`` knobs. When the
+        evaluator's final factorization was computed at exactly
+        ``fit.theta`` (and is not already installed), the engine adopts
+        it, so the first ``predict`` skips generation *and*
+        factorization of ``Sigma_22`` entirely. Subsequent calls — new
+        target sets, batched realizations, conditional variances — reuse
+        the one cached factor until ``fit.theta`` changes.
+        """
+        ev = self.evaluator
+        model = self.model.with_theta(fit.theta)
+        if self._engine is None:
+            self._engine = PredictionEngine(
+                self.locations,
+                self.z,
+                model,
+                variant=self.variant,
+                acc=ev.acc,
+                tile_size=ev.tile_size,
+                runtime=ev.runtime,
+                compression_method=ev.compression_method,
+                cache_distances=ev.cache_distances,
+                parallel_generation=ev.parallel_generation,
+                distance_cache=ev.distance_cache,
+                full_distances=ev._full_distances,
+            )
+        else:
+            self._engine.set_model(model)
+        if (
+            ev.last_factor is not None
+            and ev.last_theta is not None
+            and np.array_equal(ev.last_theta, np.asarray(fit.theta, dtype=np.float64))
+            and self._engine._factor is None
+        ):
+            self._engine.adopt_factor(ev.last_factor, model)
+        return self._engine
+
     def predict(
         self,
         fit: FitResult,
@@ -247,20 +294,49 @@ class MLEstimator:
         variant: Optional[str] = None,
         acc: Optional[float] = None,
         tile_size: Optional[int] = None,
+        z: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Predict values at ``new_locations`` using the fitted model.
 
-        Delegates to :func:`repro.mle.prediction.predict` with this
-        estimator's (possibly Morton-reordered) training data.
+        With no substrate overrides this goes through :meth:`predictor`,
+        so repeated calls against one fit reuse the fit's distance cache
+        and a single ``Sigma_22`` factorization (pass ``z`` with shape
+        ``(n, k)`` for batched multi-RHS prediction). A ``z`` override
+        follows the *constructor's* row order — when the estimator
+        Morton-reordered the training locations, the override is
+        permuted the same way before the solve. Overriding
+        ``variant``/``acc``/``tile_size`` to a different substrate falls
+        back to the stateless :func:`repro.mle.prediction.predict` with
+        this estimator's (possibly Morton-reordered) training data;
+        values are identical either way.
         """
+        if z is not None and self._perm is not None:
+            z = np.asarray(z, dtype=np.float64)[self._perm]
+        v = variant or self.variant
+        nb = tile_size or self.evaluator.tile_size
+        same_substrate = (
+            v == self.variant
+            and nb == self.evaluator.tile_size
+            and (v != "tlr" or acc is None or float(acc) == self.evaluator.acc)
+        )
+        if same_substrate:
+            return self.predictor(fit).predict(new_locations, z=z)
         model = self.model.with_theta(fit.theta)
-        cfg = get_config()
         return _predict(
             self.locations,
-            self.z,
+            self.z if z is None else z,
             new_locations,
             model,
-            variant=variant or self.variant,
+            variant=v,
             acc=self.acc if acc is None else acc,
-            tile_size=tile_size or cfg.tile_size,
+            tile_size=nb,
         )
+
+    def conditional_variance(self, fit: FitResult, new_locations: np.ndarray) -> np.ndarray:
+        """Pointwise kriging variance at ``new_locations`` (eq. (3)).
+
+        Runs on this estimator's substrate through :meth:`predictor`,
+        reusing the same cached ``Sigma_22`` factorization as
+        :meth:`predict`.
+        """
+        return self.predictor(fit).conditional_variance(new_locations)

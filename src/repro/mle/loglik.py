@@ -47,16 +47,12 @@ from ..linalg.blocklapack import (
 )
 from ..linalg.generation import (
     TileDistanceCache,
-    empty_tile_matrix,
-    empty_tlr_matrix,
-    insert_tile_generation_tasks,
-    insert_tlr_generation_tasks,
+    generate_and_factor_tile_matrix,
+    generate_and_factor_tlr_matrix,
 )
-from ..linalg.tile_cholesky import logdet_from_tile_factor, tile_cholesky
-from ..linalg.tile_matrix import TileMatrix
+from ..linalg.tile_cholesky import logdet_from_tile_factor
 from ..linalg.tile_solve import tile_solve_triangular
-from ..linalg.tlr_cholesky import logdet_from_tlr_factor, tlr_cholesky
-from ..linalg.tlr_matrix import TLRMatrix
+from ..linalg.tlr_cholesky import logdet_from_tlr_factor
 from ..linalg.tlr_solve import tlr_solve_triangular
 from ..runtime import Runtime
 from ..utils.timer import StageTimes
@@ -134,6 +130,15 @@ class LikelihoodEvaluator:
         fused into the factorization graph (default: configured
         ``parallel_generation``). No effect without a runtime or for the
         full-block variant.
+    keep_last_factor:
+        Retain a reference to the most recent successful evaluation's
+        Cholesky factor (``last_factor``/``last_theta``). Costs no extra
+        compute — the factor would otherwise be garbage-collected — but
+        keeps one factor's memory (O(n^2) for the dense substrates)
+        alive between evaluations. Default False;
+        :class:`~repro.mle.estimator.MLEstimator` opts in so its
+        prediction path can adopt the fit's final factorization and skip
+        re-factorizing ``Sigma_22`` when predicting at the fitted theta.
 
     Notes
     -----
@@ -155,6 +160,7 @@ class LikelihoodEvaluator:
         compression_method: Optional[str] = None,
         cache_distances: Optional[bool] = None,
         parallel_generation: Optional[bool] = None,
+        keep_last_factor: bool = False,
     ) -> None:
         if variant not in VARIANTS:
             raise ConfigurationError(f"variant must be one of {VARIANTS}, got {variant!r}")
@@ -185,6 +191,12 @@ class LikelihoodEvaluator:
                 self.locations, self.tile_size, metric=model.metric
             )
         self._full_distances: Optional[np.ndarray] = None  # full-block cache
+        self.keep_last_factor = bool(keep_last_factor)
+        #: Cholesky factor of the most recent successful evaluation
+        #: (ndarray / TileMatrix / TLRMatrix per variant), and its theta.
+        self.last_factor: Optional[object] = None
+        self.last_theta: Optional[np.ndarray] = None
+        self._pending_factor: Optional[object] = None
 
     # ------------------------------------------------------------- calls
     def __call__(self, theta: np.ndarray) -> float:
@@ -200,7 +212,14 @@ class LikelihoodEvaluator:
                 logdet, quad = self._eval_tlr(model)
         except NotPositiveDefiniteError:
             self.n_failures += 1
+            self._pending_factor = None
+            self.last_factor = None
+            self.last_theta = None
             return PENALTY_LOGLIK
+        if self.keep_last_factor:
+            self.last_factor = self._pending_factor
+            self.last_theta = model.theta.copy()
+        self._pending_factor = None
         return float(self._const - 0.5 * logdet - 0.5 * quad)
 
     def negative(self, theta: np.ndarray) -> float:
@@ -232,56 +251,40 @@ class LikelihoodEvaluator:
                 sigma = model.matrix(self.locations)
         with self.times.stage("factorization"):
             factor = block_cholesky(sigma, overwrite=True)
+        self._pending_factor = factor
         with self.times.stage("solve"):
             half = sla.solve_triangular(factor, self.z, lower=True, check_finite=False)
             logdet = block_logdet_from_factor(factor)
         return logdet, float(half @ half)
 
     def _eval_full_tile(self, model: CovarianceModel) -> tuple[float, float]:
-        generate = self._tile_generator(model)
-        if self._fused:
-            with self.times.stage("generation"):
-                tiles = empty_tile_matrix(self._n, self.tile_size, symmetric_lower=True)
-                handles = insert_tile_generation_tasks(self.runtime, tiles, generate)
-            with self.times.stage("factorization"):
-                tile_cholesky(tiles, runtime=self.runtime, handles=handles)
-        else:
-            with self.times.stage("generation"):
-                tiles = TileMatrix.from_generator(
-                    self._n, self.tile_size, generate, symmetric_lower=True
-                )
-            with self.times.stage("factorization"):
-                tile_cholesky(tiles, runtime=self.runtime)
+        tiles = generate_and_factor_tile_matrix(
+            self._n,
+            self.tile_size,
+            self._tile_generator(model),
+            runtime=self.runtime,
+            fused=self._fused,
+            times=self.times,
+        )
+        self._pending_factor = tiles
         with self.times.stage("solve"):
             half = tile_solve_triangular(tiles, self.z, trans=False)
             logdet = logdet_from_tile_factor(tiles)
         return logdet, float(half @ half)
 
     def _eval_tlr(self, model: CovarianceModel) -> tuple[float, float]:
-        generate = self._tile_generator(model)
-        if self._fused:
-            with self.times.stage("generation"):
-                tlr = empty_tlr_matrix(self._n, self.tile_size, self.acc)
-                handles = insert_tlr_generation_tasks(
-                    self.runtime,
-                    tlr,
-                    generate,
-                    method=self.compression_method,
-                    rule=self.truncation_rule,
-                )
-            with self.times.stage("factorization"):
-                tlr_cholesky(tlr, runtime=self.runtime, handles=handles)
-        else:
-            with self.times.stage("generation"):
-                tlr = TLRMatrix.from_generator(
-                    self._n,
-                    self.tile_size,
-                    generate,
-                    acc=self.acc,
-                    method=self.compression_method,
-                )
-            with self.times.stage("factorization"):
-                tlr_cholesky(tlr, runtime=self.runtime)
+        tlr = generate_and_factor_tlr_matrix(
+            self._n,
+            self.tile_size,
+            self._tile_generator(model),
+            self.acc,
+            method=self.compression_method,
+            rule=self.truncation_rule,
+            runtime=self.runtime,
+            fused=self._fused,
+            times=self.times,
+        )
+        self._pending_factor = tlr
         with self.times.stage("solve"):
             half = tlr_solve_triangular(tlr, self.z, trans=False)
             logdet = logdet_from_tlr_factor(tlr)

@@ -12,6 +12,16 @@ paper's Figure 5 prediction curves mirror the Figure 4 MLE curves.
 
 The TLR variant factorizes ``Sigma_22`` in TLR form; ``Sigma_12`` stays
 dense (it is ``m x n`` with small ``m``).
+
+This module is the one-shot functional facade. Both entry points are
+thin wrappers over :class:`~repro.mle.prediction_engine.PredictionEngine`,
+which is the right interface for *repeated* prediction against one
+fitted model: it caches distance blocks and the ``Sigma_22``
+factorization across calls, fuses tile/TLR generation into the
+factorization task graph when a runtime is attached, and supports
+batched multi-RHS prediction. The wrappers build a fresh engine per
+call, so their values match the engine's exactly while keeping the
+historical stateless signatures.
 """
 
 from __future__ import annotations
@@ -20,58 +30,11 @@ from typing import Optional
 
 import numpy as np
 
-from ..config import get_config
-from ..exceptions import ConfigurationError
 from ..kernels.covariance import CovarianceModel
-from ..kernels.distance import pairwise_distance
-from ..linalg.blocklapack import block_cholesky, block_cholesky_solve
-from ..linalg.tile_cholesky import tile_cholesky
-from ..linalg.tile_matrix import TileMatrix
-from ..linalg.tile_solve import tile_cholesky_solve
-from ..linalg.tlr_cholesky import tlr_cholesky
-from ..linalg.tlr_matrix import TLRMatrix
-from ..linalg.tlr_solve import tlr_cholesky_solve
 from ..runtime import Runtime
-from ..utils.validation import as_float_array, check_locations, check_vector
+from .prediction_engine import PredictionEngine
 
 __all__ = ["predict", "conditional_variance"]
-
-
-def _solve_sigma22(
-    locations: np.ndarray,
-    z: np.ndarray,
-    model: CovarianceModel,
-    variant: str,
-    acc: Optional[float],
-    tile_size: Optional[int],
-    runtime: Optional[Runtime],
-    compression_method: Optional[str],
-) -> np.ndarray:
-    """Compute ``Sigma_22^{-1} z`` with the requested substrate."""
-    cfg = get_config()
-    n = locations.shape[0]
-    nb = cfg.tile_size if tile_size is None else int(tile_size)
-    if variant == "full-block":
-        sigma = model.matrix(locations)
-        factor = block_cholesky(sigma, overwrite=True)
-        return np.asarray(block_cholesky_solve(factor, z))
-    if variant == "full-tile":
-        tiles = TileMatrix.from_generator(
-            n, nb, lambda rs, cs: model.tile(locations, rs, cs), symmetric_lower=True
-        )
-        tile_cholesky(tiles, runtime=runtime)
-        return tile_cholesky_solve(tiles, z)
-    if variant == "tlr":
-        tlr = TLRMatrix.from_generator(
-            n,
-            nb,
-            lambda rs, cs: model.tile(locations, rs, cs),
-            acc=cfg.tlr_accuracy if acc is None else acc,
-            method=compression_method,
-        )
-        tlr_cholesky(tlr, runtime=runtime)
-        return tlr_cholesky_solve(tlr, z)
-    raise ConfigurationError(f"unknown prediction variant {variant!r}")
 
 
 def predict(
@@ -85,6 +48,8 @@ def predict(
     tile_size: Optional[int] = None,
     runtime: Optional[Runtime] = None,
     compression_method: Optional[str] = None,
+    cache_distances: Optional[bool] = None,
+    parallel_generation: Optional[bool] = None,
 ) -> np.ndarray:
     """Conditional-mean prediction ``Z1 = Sigma_12 Sigma_22^{-1} Z2``.
 
@@ -93,7 +58,9 @@ def predict(
     locations:
         ``(n, d)`` observed locations.
     z:
-        ``(n,)`` observed values (zero-mean).
+        ``(n,)`` observed values (zero-mean), or ``(n, k)`` for batched
+        multi-RHS prediction (``k`` realizations against one
+        factorization).
     new_locations:
         ``(m, d)`` prediction targets.
     model:
@@ -102,40 +69,70 @@ def predict(
     variant, acc, tile_size, runtime, compression_method:
         Substrate controls, as in
         :class:`~repro.mle.loglik.LikelihoodEvaluator`.
+    cache_distances, parallel_generation:
+        Generation-pipeline knobs forwarded to
+        :class:`~repro.mle.prediction_engine.PredictionEngine` (``None``
+        uses the configured defaults). Values are identical either way;
+        for repeated predictions hold a ``PredictionEngine`` instead so
+        the caches actually amortize.
 
     Returns
     -------
-    ``(m,)`` predicted values.
+    ``(m,)`` predicted values (``(m, k)`` for a batched ``z``).
     """
-    x = check_locations(locations, "locations")
-    z = check_vector(as_float_array(z, "z"), x.shape[0], "z")
-    xnew = check_locations(new_locations, "new_locations")
-    alpha = _solve_sigma22(x, z, model, variant, acc, tile_size, runtime, compression_method)
-    d12 = pairwise_distance(xnew, x, metric=model.metric)
-    sigma12 = model(d12)
-    return sigma12 @ alpha
+    engine = PredictionEngine(
+        locations,
+        z,
+        model,
+        variant=variant,
+        acc=acc,
+        tile_size=tile_size,
+        runtime=runtime,
+        compression_method=compression_method,
+        cache_distances=cache_distances,
+        parallel_generation=parallel_generation,
+    )
+    return engine.predict(new_locations)
 
 
 def conditional_variance(
     locations: np.ndarray,
     new_locations: np.ndarray,
     model: CovarianceModel,
+    *,
+    variant: str = "full-block",
+    acc: Optional[float] = None,
+    tile_size: Optional[int] = None,
+    runtime: Optional[Runtime] = None,
+    compression_method: Optional[str] = None,
+    cache_distances: Optional[bool] = None,
+    parallel_generation: Optional[bool] = None,
 ) -> np.ndarray:
-    """Diagonal of the conditional covariance (eq. (3)), dense substrate.
+    """Diagonal of the conditional covariance (eq. (3)), any substrate.
 
     ``diag(Sigma_11 - Sigma_12 Sigma_22^{-1} Sigma_21)`` — the pointwise
     kriging variance. Exposed for the examples' uncertainty maps; the
-    paper's evaluation uses only the conditional mean.
+    paper's evaluation uses only the conditional mean. Historically
+    dense-only; the ``variant`` argument now selects the full-tile or TLR
+    substrate through the shared
+    :class:`~repro.mle.prediction_engine.PredictionEngine` machinery
+    (TLR variances carry the factor's compression accuracy). The
+    factorization is guarded against non-positive-definite covariances
+    consistently with
+    :func:`~repro.linalg.tile_cholesky.logdet_from_tile_factor` — a
+    :class:`~repro.exceptions.NotPositiveDefiniteError` is raised rather
+    than NaNs propagated.
     """
-    x = check_locations(locations, "locations")
-    xnew = check_locations(new_locations, "new_locations")
-    sigma22 = model.matrix(x)
-    factor = block_cholesky(sigma22, overwrite=True)
-    d12 = pairwise_distance(xnew, x, metric=model.metric)
-    sigma12 = model(d12)
-    import scipy.linalg as sla
-
-    half = sla.solve_triangular(factor, sigma12.T, lower=True, check_finite=False)
-    var_marginal = float(model(np.zeros(1))[0]) + model.nugget
-    reduction = np.einsum("ij,ij->j", half, half)
-    return np.maximum(var_marginal - reduction, 0.0)
+    engine = PredictionEngine(
+        locations,
+        None,
+        model,
+        variant=variant,
+        acc=acc,
+        tile_size=tile_size,
+        runtime=runtime,
+        compression_method=compression_method,
+        cache_distances=cache_distances,
+        parallel_generation=parallel_generation,
+    )
+    return engine.conditional_variance(new_locations)

@@ -1,0 +1,457 @@
+"""Cached, task-parallel kriging over a fixed training set (paper §III).
+
+The prediction operation (eqs. (2)-(4)) is, like one likelihood
+evaluation, dominated by generating and factorizing ``Sigma_22`` — the
+paper's Figure 5 prediction curves mirror the Figure 4 MLE curves for
+exactly this reason. ExaGeoStat treats prediction as a first-class,
+*repeatedly invoked* operation over a fitted model: many realizations,
+many target sets, one training set. :class:`PredictionEngine` gives that
+workload the same treatment PR 1 gave the MLE hot loop:
+
+* **Distance caching.** A per-engine
+  :class:`~repro.linalg.generation.TileDistanceCache` (shareable with
+  the fit's evaluator, so ``fit -> predict`` pays for no distance block
+  twice) covers ``Sigma_22``; a new
+  :class:`~repro.linalg.generation.CrossDistanceCache` covers the
+  ``Sigma_12`` cross blocks, keyed by a content digest of the target
+  coordinates. Cached tiles are bit-identical to direct generation.
+
+* **Fused task-parallel generation.** With a
+  :class:`~repro.runtime.Runtime` attached and ``parallel_generation``
+  on, tile/TLR generation is inserted into the prediction Cholesky's
+  task graph exactly as the MLE loop does
+  (:func:`~repro.linalg.generation.insert_tile_generation_tasks` /
+  :func:`~repro.linalg.generation.insert_tlr_generation_tasks`): no
+  global barrier between generation and factorization.
+
+* **One factorization, many solves.** The Cholesky factor of
+  ``Sigma_22`` is cached per parameter vector: batched multi-RHS
+  prediction (``z`` with shape ``(n, k)``), repeated target sets, and
+  conditional variances all reuse one factorization. The engine can
+  also *adopt* the factorization left behind by the fit's final
+  likelihood evaluation, skipping even the first factorization.
+
+* **All substrates.** ``full-block``, ``full-tile`` and ``tlr`` share
+  the machinery, including :meth:`conditional_variance` (previously
+  dense-only).
+
+Values are preserved: with caching and/or fused generation the
+conditional means are bit-identical to the seed path for the dense
+substrates and within the compression accuracy for TLR (bit-identical
+with the deterministic SVD compressor).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..config import get_config
+from ..exceptions import ConfigurationError, NotPositiveDefiniteError, ShapeError
+from ..kernels.covariance import CovarianceModel
+from ..kernels.distance import pairwise_distance
+from ..linalg.blocklapack import block_cholesky
+from ..linalg.generation import (
+    CrossDistanceCache,
+    TileDistanceCache,
+    generate_and_factor_tile_matrix,
+    generate_and_factor_tlr_matrix,
+)
+from ..linalg.tile_matrix import TileMatrix
+from ..linalg.tile_solve import tile_solve_triangular
+from ..linalg.tlr_matrix import TLRMatrix
+from ..linalg.tlr_solve import tlr_solve_triangular
+from ..runtime import Runtime
+from ..utils.timer import StageTimes
+from ..utils.validation import as_float_array, check_locations
+from .loglik import VARIANTS
+
+__all__ = ["PredictionEngine"]
+
+#: A Sigma_22 Cholesky factor in any of the three substrate formats.
+Factor = Union[np.ndarray, TileMatrix, TLRMatrix]
+
+
+def _check_rhs(z: object, n: int, name: str = "z") -> np.ndarray:
+    """Validate a ``(n,)`` or ``(n, k)`` right-hand side."""
+    arr = as_float_array(z, name)
+    if arr.ndim not in (1, 2):
+        raise ShapeError(f"{name} must be 1-D or 2-D, got shape {arr.shape}")
+    if arr.shape[0] != n:
+        raise ShapeError(f"{name} must have leading dimension {n}, got {arr.shape[0]}")
+    return arr
+
+
+def _validate_factor(factor: Factor) -> Factor:
+    """Guard a Cholesky factor's diagonal, as ``logdet_from_*_factor`` does.
+
+    Raises
+    ------
+    NotPositiveDefiniteError
+        If any diagonal entry of the factor is not strictly positive —
+        solving against such a factor would silently produce NaN/Inf
+        predictions instead of a diagnosable failure.
+    """
+    if isinstance(factor, TileMatrix):
+        for k in range(factor.nt):
+            if not np.all(np.diagonal(factor.tile(k, k)) > 0.0):
+                raise NotPositiveDefiniteError(
+                    f"tile Cholesky factor has a non-positive diagonal in tile ({k},{k})"
+                )
+    elif isinstance(factor, TLRMatrix):
+        for k in range(factor.nt):
+            if not np.all(np.diagonal(factor.diag[k]) > 0.0):
+                raise NotPositiveDefiniteError(
+                    f"TLR Cholesky factor has a non-positive diagonal in tile ({k},{k})"
+                )
+    else:
+        if not np.all(np.diagonal(factor) > 0.0):
+            raise NotPositiveDefiniteError("Cholesky factor has non-positive diagonal entries")
+    return factor
+
+
+class PredictionEngine:
+    """Kriging engine bound to one training set and one substrate.
+
+    Parameters
+    ----------
+    locations:
+        ``(n, d)`` observed locations (order fixed; callers that Morton-
+        order for the fit must pass the reordered locations).
+    z:
+        Observations: ``(n,)`` for one realization, ``(n, k)`` for a
+        batch, or ``None`` for variance-only use. Rebindable per call via
+        :meth:`predict`'s ``z=`` argument.
+    model:
+        Fitted covariance model (defines ``Sigma_22`` and ``Sigma_12``).
+        Rebindable via :meth:`set_model` — distance caches survive a
+        theta change, the factorization cache does not.
+    variant:
+        ``"full-block"`` (default), ``"full-tile"`` or ``"tlr"``.
+    acc, tile_size, runtime, compression_method:
+        Substrate controls, as in
+        :class:`~repro.mle.loglik.LikelihoodEvaluator`.
+    cache_distances:
+        Cache ``Sigma_22`` distance blocks and ``Sigma_12`` cross-distance
+        matrices across calls (default: configured ``cache_distances``).
+        Values are bit-identical either way.
+    parallel_generation:
+        With a runtime attached, fuse tile/TLR generation into the
+        prediction Cholesky task graph (default: configured
+        ``parallel_generation``). No effect without a runtime or for the
+        full-block variant.
+    distance_cache:
+        An existing :class:`~repro.linalg.generation.TileDistanceCache`
+        to share (typically the fit evaluator's, so prediction reuses the
+        fit's distance work). Must be built over the same locations and
+        metric.
+    full_distances:
+        Pre-computed ``(n, n)`` distance matrix to seed the full-block
+        cache with (the full-block analogue of ``distance_cache``).
+
+    Examples
+    --------
+    >>> from repro.data import generate_irregular_grid, sample_gaussian_field
+    >>> from repro.kernels import MaternCovariance
+    >>> locs = generate_irregular_grid(64, seed=0)
+    >>> model = MaternCovariance(1.0, 0.1, 0.5)
+    >>> z = sample_gaussian_field(locs, model, seed=1)
+    >>> engine = PredictionEngine(locs, z, model)
+    >>> engine.predict(locs[:4]).shape   # factors Sigma_22 once
+    (4,)
+    >>> engine.predict(locs[4:8]).shape  # reuses the factorization
+    (4,)
+    >>> engine.n_factorizations
+    1
+    """
+
+    def __init__(
+        self,
+        locations: np.ndarray,
+        z: Optional[np.ndarray],
+        model: CovarianceModel,
+        *,
+        variant: str = "full-block",
+        acc: Optional[float] = None,
+        tile_size: Optional[int] = None,
+        runtime: Optional[Runtime] = None,
+        compression_method: Optional[str] = None,
+        cache_distances: Optional[bool] = None,
+        parallel_generation: Optional[bool] = None,
+        distance_cache: Optional[TileDistanceCache] = None,
+        full_distances: Optional[np.ndarray] = None,
+    ) -> None:
+        if variant not in VARIANTS:
+            raise ConfigurationError(f"variant must be one of {VARIANTS}, got {variant!r}")
+        cfg = get_config()
+        self.locations = check_locations(locations, "locations")
+        self._n = self.locations.shape[0]
+        self.z = None if z is None else _check_rhs(z, self._n, "z")
+        self.model = model
+        self.variant = variant
+        self.acc = cfg.tlr_accuracy if acc is None else float(acc)
+        self.tile_size = cfg.tile_size if tile_size is None else int(tile_size)
+        self.runtime = runtime
+        self.compression_method = compression_method or cfg.compression_method
+        self.truncation_rule = cfg.truncation
+        self.cache_distances = (
+            cfg.cache_distances if cache_distances is None else bool(cache_distances)
+        )
+        self.parallel_generation = (
+            cfg.parallel_generation if parallel_generation is None else bool(parallel_generation)
+        )
+
+        self.distance_cache: Optional[TileDistanceCache] = None
+        self.cross_cache: Optional[CrossDistanceCache] = None
+        self._full_distances: Optional[np.ndarray] = None
+        if self.cache_distances:
+            if variant in ("full-tile", "tlr"):
+                self.distance_cache = distance_cache or TileDistanceCache(
+                    self.locations, self.tile_size, metric=model.metric
+                )
+            else:
+                self._full_distances = full_distances
+            self.cross_cache = CrossDistanceCache(self.locations, metric=model.metric)
+
+        self._factor: Optional[Factor] = None
+        self._factor_key: Optional[Tuple] = None
+        self._alpha: Optional[np.ndarray] = None  # Sigma_22^{-1} z for the bound z
+        self.n_factorizations = 0
+        self.n_predicts = 0
+        self.times = StageTimes()
+
+    # ---------------------------------------------------------- model state
+    @staticmethod
+    def _model_key(model: CovarianceModel) -> Tuple:
+        """Cache key of everything ``Sigma_22`` depends on besides locations."""
+        return (type(model).__name__, model.theta.tobytes(), model.nugget, model.metric)
+
+    def set_model(self, model: CovarianceModel) -> "PredictionEngine":
+        """Rebind the fitted model; invalidates factor/solve caches on change.
+
+        Distance caches are theta-independent and survive a parameter
+        change; a *metric* change invalidates them too (cached distances
+        were measured in the old metric).
+        """
+        if self._model_key(model) != self._model_key(self.model):
+            self._factor = None
+            self._factor_key = None
+            self._alpha = None
+        if model.metric != self.model.metric and self.cache_distances:
+            if self.distance_cache is not None:
+                self.distance_cache = TileDistanceCache(
+                    self.locations, self.tile_size, metric=model.metric
+                )
+            self._full_distances = None
+            self.cross_cache = CrossDistanceCache(self.locations, metric=model.metric)
+        self.model = model
+        return self
+
+    def set_observations(self, z: Optional[np.ndarray]) -> "PredictionEngine":
+        """Rebind the default observation vector/batch (drops its cached solve)."""
+        self.z = None if z is None else _check_rhs(z, self._n, "z")
+        self._alpha = None
+        return self
+
+    def adopt_factor(self, factor: Factor, model: CovarianceModel) -> "PredictionEngine":
+        """Install an existing ``Sigma_22`` Cholesky factor for ``model``.
+
+        Used by :class:`~repro.mle.estimator.MLEstimator` to hand the fit's
+        final factorization to the prediction path when the training
+        locations are unchanged. The factor must come from this engine's
+        substrate (``variant``/``tile_size``/``acc``); ownership transfers
+        to the engine (the factor must not be mutated afterwards).
+        """
+        expected = {
+            "full-block": np.ndarray,
+            "full-tile": TileMatrix,
+            "tlr": TLRMatrix,
+        }[self.variant]
+        if not isinstance(factor, expected):
+            raise ConfigurationError(
+                f"adopted factor type {type(factor).__name__} does not match "
+                f"variant {self.variant!r}"
+            )
+        self._factor = _validate_factor(factor)
+        self._factor_key = self._model_key(model)
+        self._alpha = None
+        self.model = model
+        return self
+
+    # -------------------------------------------------------- factorization
+    def _tile_generator(self, model: CovarianceModel):
+        """Tile generator for ``Sigma_22``: cached distances when enabled."""
+        if self.distance_cache is not None:
+            return self.distance_cache.generator(model)
+        return lambda rs, cs: model.tile(self.locations, rs, cs)
+
+    @property
+    def _fused(self) -> bool:
+        """True when generation is fused into the factorization task graph."""
+        return self.runtime is not None and self.parallel_generation
+
+    def factor(self) -> Factor:
+        """The Cholesky factor of ``Sigma_22`` at the current model (cached)."""
+        key = self._model_key(self.model)
+        if self._factor is not None and self._factor_key == key:
+            return self._factor
+        self._factor = _validate_factor(self._compute_factor(self.model))
+        self._factor_key = key
+        self._alpha = None
+        self.n_factorizations += 1
+        return self._factor
+
+    def _compute_factor(self, model: CovarianceModel) -> Factor:
+        if self.variant == "full-block":
+            with self.times.stage("generation"):
+                if self.cache_distances:
+                    if self._full_distances is None:
+                        self._full_distances = pairwise_distance(
+                            self.locations, metric=model.metric
+                        )
+                    sigma = model.matrix_from_distances(self._full_distances)
+                else:
+                    sigma = model.matrix(self.locations)
+            with self.times.stage("factorization"):
+                return block_cholesky(sigma, overwrite=True)
+        generate = self._tile_generator(model)
+        if self.variant == "full-tile":
+            return generate_and_factor_tile_matrix(
+                self._n,
+                self.tile_size,
+                generate,
+                runtime=self.runtime,
+                fused=self._fused,
+                times=self.times,
+            )
+        return generate_and_factor_tlr_matrix(
+            self._n,
+            self.tile_size,
+            generate,
+            self.acc,
+            method=self.compression_method,
+            rule=self.truncation_rule,
+            runtime=self.runtime,
+            fused=self._fused,
+            times=self.times,
+        )
+
+    # --------------------------------------------------------------- solves
+    def _half_solve(self, factor: Factor, b: np.ndarray) -> np.ndarray:
+        """``L^{-1} b`` against ``factor`` (any substrate)."""
+        if self.variant == "full-block":
+            return sla.solve_triangular(factor, b, lower=True, check_finite=False)
+        if self.variant == "full-tile":
+            return tile_solve_triangular(factor, b, trans=False)
+        return tlr_solve_triangular(factor, b, trans=False)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """``Sigma_22^{-1} b`` via the cached factor; ``b`` is ``(n,)`` or ``(n, k)``."""
+        b = _check_rhs(b, self._n, "b")
+        factor = self.factor()
+        with self.times.stage("solve"):
+            if self.variant == "full-block":
+                y = sla.solve_triangular(factor, b, lower=True, check_finite=False)
+                return sla.solve_triangular(factor, y, lower=True, trans="T", check_finite=False)
+            if self.variant == "full-tile":
+                y = tile_solve_triangular(factor, b, trans=False)
+                return tile_solve_triangular(factor, y, trans=True)
+            y = tlr_solve_triangular(factor, b, trans=False)
+            return tlr_solve_triangular(factor, y, trans=True)
+
+    def _weights(self) -> np.ndarray:
+        """``Sigma_22^{-1} z`` for the bound observations (cached per factor)."""
+        if self.z is None:
+            raise ConfigurationError(
+                "engine has no bound observations; pass z= to predict() or "
+                "bind one with set_observations()"
+            )
+        if self._alpha is None:
+            self._alpha = self.solve(self.z)
+        return self._alpha
+
+    # ---------------------------------------------------------- predictions
+    def cross_covariance(self, new_locations: np.ndarray) -> np.ndarray:
+        """``Sigma_12``: ``(m, n)`` covariance between targets and training set."""
+        xnew = check_locations(new_locations, "new_locations")
+        with self.times.stage("cross"):
+            if self.cross_cache is not None:
+                d12 = self.cross_cache.matrix(xnew)
+            else:
+                d12 = pairwise_distance(xnew, self.locations, metric=self.model.metric)
+            return self.model(d12)
+
+    def predict(
+        self, new_locations: np.ndarray, *, z: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Conditional mean ``Sigma_12 Sigma_22^{-1} z`` (eq. (4)).
+
+        Parameters
+        ----------
+        new_locations:
+            ``(m, d)`` prediction targets.
+        z:
+            Optional observation override: ``(n,)`` or, for batched
+            multi-RHS prediction, ``(n, k)`` — ``k`` realizations solved
+            against one factorization. Defaults to the bound ``z``
+            (whose solve is additionally cached across calls).
+
+        Returns
+        -------
+        ``(m,)`` predictions, or ``(m, k)`` for a batched ``z``.
+        """
+        sigma12 = self.cross_covariance(new_locations)
+        alpha = self._weights() if z is None else self.solve(z)
+        self.n_predicts += 1
+        return sigma12 @ alpha
+
+    def conditional_variance(self, new_locations: np.ndarray) -> np.ndarray:
+        """Pointwise kriging variance (eq. (3)) on any substrate.
+
+        ``diag(Sigma_11 - Sigma_12 Sigma_22^{-1} Sigma_21)`` through the
+        cached factor: one ``(n, m)`` half-solve, then column norms. TLR
+        results carry the compression accuracy of the factor.
+        """
+        sigma12 = self.cross_covariance(new_locations)
+        factor = self.factor()  # outside the solve stage: may generate+factorize
+        with self.times.stage("solve"):
+            half = self._half_solve(factor, sigma12.T)
+            reduction = np.einsum("ij,ij->j", half, half)
+        var_marginal = float(self.model(np.zeros(1))[0]) + self.model.nugget
+        return np.maximum(var_marginal - reduction, 0.0)
+
+    # ------------------------------------------------------------- plumbing
+    def stats(self) -> dict:
+        """Counters and cache statistics (for benchmarks and tests)."""
+        out = {
+            "n_factorizations": self.n_factorizations,
+            "n_predicts": self.n_predicts,
+            "stage_times": dict(self.times.stages),
+        }
+        if self.distance_cache is not None:
+            out["distance_cache"] = {
+                "hits": self.distance_cache.hits,
+                "misses": self.distance_cache.misses,
+                "nbytes": self.distance_cache.nbytes,
+            }
+        if self.cross_cache is not None:
+            out["cross_cache"] = {
+                "hits": self.cross_cache.hits,
+                "misses": self.cross_cache.misses,
+                "nbytes": self.cross_cache.nbytes,
+            }
+        return out
+
+    def clear(self) -> None:
+        """Drop the factorization and solve caches (distance caches kept)."""
+        self._factor = None
+        self._factor_key = None
+        self._alpha = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PredictionEngine(n={self._n}, variant={self.variant!r}, "
+            f"nb={self.tile_size}, cached_factor={self._factor is not None})"
+        )
