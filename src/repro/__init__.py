@@ -15,6 +15,8 @@ Estimation for the Prediction of Large-Scale Geostatistics Simulations*
 * :mod:`repro.optim` — bound-constrained Nelder-Mead (NLopt substitute);
 * :mod:`repro.mle` — likelihood evaluators, the MLE driver, kriging
   prediction, Monte-Carlo harness;
+* :mod:`repro.serving` — persisted model bundles, a warm-engine
+  registry, and an async micro-batching prediction service;
 * :mod:`repro.perfmodel` — machine/cluster models and the performance
   estimator standing in for the paper's Intel servers and Shaheen-2;
 * :mod:`repro.experiments` — drivers regenerating every table and figure.
@@ -57,6 +59,13 @@ from .mle import (
     run_monte_carlo,
 )
 from .optim import nelder_mead
+from .serving import (
+    ModelBundle,
+    ModelRegistry,
+    PredictionService,
+    load_model,
+    save_model,
+)
 
 __all__ = [
     "__version__",
@@ -86,4 +95,9 @@ __all__ = [
     "mean_squared_error",
     "run_monte_carlo",
     "nelder_mead",
+    "ModelBundle",
+    "ModelRegistry",
+    "PredictionService",
+    "load_model",
+    "save_model",
 ]

@@ -77,12 +77,33 @@ class Config:
         serial loop with a barrier before the Cholesky. Only takes
         effect when an evaluator — or a prediction engine — is given a
         :class:`~repro.runtime.Runtime`.
+    compression_batch:
+        Number of TLR tiles compressed per runtime task in the fused
+        generation path. With small tiles (``nb`` small relative to
+        ``nt``) each per-tile SVD is cheap and per-task overhead
+        dominates; batching several tiles into one task amortizes it.
+        ``1`` (the default) keeps one task per tile. Values are
+        identical for any batch size.
     cholesky_jitter:
         Diagonal regularization added by samplers (not by the MLE path)
         to keep synthetic covariance factorizations stable.
     rng_seed:
         Default seed used when an API that needs randomness is called
         without an explicit generator.
+    serving_batch_window:
+        Seconds the :class:`~repro.serving.service.PredictionService`
+        micro-batcher waits after the first queued request to coalesce
+        concurrent requests for the same model into one engine call.
+        ``0`` dispatches immediately (no coalescing window).
+    serving_max_batch:
+        Upper bound on requests coalesced into one engine call.
+    serving_queue_size:
+        Per-model bound on queued requests; submissions beyond it are
+        rejected with ``ServiceOverloadedError`` (backpressure).
+    serving_max_models:
+        Engines the :class:`~repro.serving.registry.ModelRegistry`
+        keeps warm (least-recently-used eviction; evicted models are
+        rehydrated from their bundles on the next request).
     """
 
     tile_size: int = 250
@@ -93,8 +114,13 @@ class Config:
     runtime_engine: str = "threads"
     cache_distances: bool = True
     parallel_generation: bool = True
+    compression_batch: int = 1
     cholesky_jitter: float = 1e-10
     rng_seed: int = 2018
+    serving_batch_window: float = 0.002
+    serving_max_batch: int = 64
+    serving_queue_size: int = 256
+    serving_max_models: int = 8
 
     def __post_init__(self) -> None:
         self.validate()
@@ -124,8 +150,28 @@ class Config:
             raise ConfigurationError(
                 f"runtime_engine must be one of {_VALID_ENGINE}, got {self.runtime_engine!r}"
             )
+        if self.compression_batch < 1:
+            raise ConfigurationError(
+                f"compression_batch must be >= 1, got {self.compression_batch}"
+            )
         if self.cholesky_jitter < 0:
             raise ConfigurationError("cholesky_jitter must be >= 0")
+        if self.serving_batch_window < 0:
+            raise ConfigurationError(
+                f"serving_batch_window must be >= 0, got {self.serving_batch_window}"
+            )
+        if self.serving_max_batch < 1:
+            raise ConfigurationError(
+                f"serving_max_batch must be >= 1, got {self.serving_max_batch}"
+            )
+        if self.serving_queue_size < 1:
+            raise ConfigurationError(
+                f"serving_queue_size must be >= 1, got {self.serving_queue_size}"
+            )
+        if self.serving_max_models < 1:
+            raise ConfigurationError(
+                f"serving_max_models must be >= 1, got {self.serving_max_models}"
+            )
 
     def resolved_workers(self) -> int:
         """Number of worker threads after resolving the ``0 = auto`` rule."""

@@ -52,3 +52,31 @@ class OutOfMemoryModelError(SimulationError):
 
 class OptimizationError(ReproError):
     """The derivative-free optimizer failed to make progress."""
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serving` subsystem."""
+
+
+class BundleError(ServingError):
+    """A persisted model bundle is missing, malformed, or incompatible."""
+
+
+class ModelNotFoundError(ServingError):
+    """A model id is not known to the :class:`~repro.serving.ModelRegistry`."""
+
+
+class ServiceOverloadedError(ServingError):
+    """A request was rejected because the service's bounded queue is full.
+
+    This is the backpressure signal: clients should retry with backoff
+    or shed load rather than pile more requests onto a saturated model.
+    """
+
+
+class DeadlineExceededError(ServingError):
+    """A request's deadline expired before the service could execute it."""
+
+
+class ServiceClosedError(ServingError):
+    """The prediction service is not running (not started, or stopped)."""

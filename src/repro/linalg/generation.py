@@ -34,11 +34,12 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..config import get_config
+from ..exceptions import ShapeError
 from ..kernels.covariance import CovarianceModel
 from ..kernels.distance import pairwise_distance, pairwise_distance_block
 from ..runtime import AccessMode, Runtime
@@ -51,6 +52,7 @@ from .tlr_matrix import TLRMatrix
 __all__ = [
     "TileDistanceCache",
     "CrossDistanceCache",
+    "array_content_key",
     "insert_tile_generation_tasks",
     "insert_tlr_generation_tasks",
     "generate_tile_matrix",
@@ -60,6 +62,16 @@ __all__ = [
     "empty_tile_matrix",
     "empty_tlr_matrix",
 ]
+
+
+def array_content_key(arr: np.ndarray) -> Tuple[Tuple[int, ...], bytes]:
+    """Shape + content digest of an array, usable as a dict key.
+
+    The keying scheme shared by :class:`CrossDistanceCache` and the
+    serving micro-batcher's same-targets grouping — one definition so
+    the two can never drift apart.
+    """
+    return (arr.shape, hashlib.sha1(arr.tobytes()).digest())
 
 
 class TileDistanceCache:
@@ -137,6 +149,41 @@ class TileDistanceCache:
         self.hits = 0
         self.misses = 0
 
+    def export_blocks(self) -> Dict[Tuple[int, int, int, int], np.ndarray]:
+        """Snapshot of the cached blocks, keyed ``(r0, r1, c0, c1)``.
+
+        Used by :mod:`repro.serving.store` to persist the distance work
+        of a fit alongside the fitted model; the arrays are shared (not
+        copied) and must be treated as read-only.
+        """
+        return dict(self._blocks)
+
+    def load_blocks(
+        self, blocks: Mapping[Tuple[int, int, int, int], np.ndarray]
+    ) -> int:
+        """Rehydrate previously exported blocks into this cache.
+
+        The serving counterpart of :meth:`export_blocks`: a cache built
+        over the same locations and metric can be pre-seeded from a
+        persisted bundle so a freshly loaded model pays no distance
+        computation at all. Keys are ``(row_start, row_stop, col_start,
+        col_stop)`` tuples; installing counts as neither hit nor miss.
+
+        Returns the number of blocks installed.
+        """
+        count = 0
+        for key, d in blocks.items():
+            r0, r1, c0, c1 = (int(v) for v in key)
+            arr = np.asarray(d, dtype=np.float64)
+            expected = (r1 - r0, c1 - c0)
+            if arr.shape != expected:
+                raise ShapeError(
+                    f"distance block {key} has shape {arr.shape}, expected {expected}"
+                )
+            self._blocks[(r0, r1, c0, c1)] = arr
+            count += 1
+        return count
+
     @property
     def n_blocks(self) -> int:
         """Number of cached distance blocks."""
@@ -190,7 +237,7 @@ class CrossDistanceCache:
 
     @staticmethod
     def _key(targets: np.ndarray) -> Tuple[Tuple[int, ...], bytes]:
-        return (targets.shape, hashlib.sha1(targets.tobytes()).digest())
+        return array_content_key(targets)
 
     def matrix(self, targets: np.ndarray) -> np.ndarray:
         """Distance matrix ``targets x locations`` (cached by content).
@@ -309,6 +356,24 @@ def _fill_lowrank_codelet(
     lr.set_factors(c.u, c.v)
 
 
+def _fill_lowrank_batch_codelet(*packed: object) -> None:
+    """Codelet: generate + compress several tiles in one runtime task.
+
+    The leading payloads are the batch's :class:`LowRank` blocks (in the
+    order of ``specs``); the single trailing argument carries everything
+    else, so the variable payload count stays unambiguous. Per-tile
+    arithmetic is identical to :func:`_fill_lowrank_codelet` — batching
+    only amortizes per-task runtime overhead when tiles are small.
+    """
+    lrs = packed[:-1]
+    generate, specs, acc, method, rule, seed = packed[-1]  # type: ignore[misc]
+    kwargs = {} if seed is None else {"seed": seed}
+    for lr, (rows, cols, i, j) in zip(lrs, specs):
+        dense = materialize_tile(generate(rows, cols), lr.shape, i, j)
+        c = compress(dense, acc, method=method, rule=rule, **kwargs)
+        lr.set_factors(c.u, c.v)
+
+
 def insert_tile_generation_tasks(
     runtime: Runtime,
     tiles: TileMatrix,
@@ -349,6 +414,7 @@ def insert_tlr_generation_tasks(
     *,
     method: str,
     rule: str,
+    compression_batch: Optional[int] = None,
 ) -> Tuple[Dict[int, DataHandle], Dict[Tuple[int, int], DataHandle]]:
     """Insert generate(+compress) tasks for every tile of ``tlr``.
 
@@ -357,9 +423,22 @@ def insert_tlr_generation_tasks(
     and compression into the factorization task graph. ``method`` and
     ``rule`` must be pre-resolved (workers do not consult the
     thread-local config).
+
+    ``compression_batch`` groups that many off-diagonal tiles' SVDs into
+    one task (default: configured ``compression_batch``, resolved on the
+    submitting thread). When ``nb`` is small relative to ``nt`` each
+    per-tile compression is cheap and per-task overhead dominates;
+    batching amortizes it. Tiles are grouped in column-major order — the
+    order the right-looking Cholesky first consumes them — and values
+    are identical for any batch size.
     """
     grid = tlr.grid
     nt = grid.nt
+    batch = (
+        get_config().compression_batch
+        if compression_batch is None
+        else max(1, int(compression_batch))
+    )
     # The adaptive randomized compressor seeds itself from the config when
     # unseeded; resolve that here so worker threads never read their own
     # (default-initialized) thread-local config.
@@ -378,23 +457,38 @@ def insert_tlr_generation_tasks(
             name=f"gen({k},{k})",
             priority=4 * (nt - k),
         )
-    for (i, j) in sorted(tlr.low):
+    if batch <= 1:
+        for (i, j) in sorted(tlr.low):
+            runtime.insert_task(
+                _fill_lowrank_codelet,
+                [(lh[(i, j)], AccessMode.READWRITE)],
+                args=(
+                    generate,
+                    grid.tile_slice(i),
+                    grid.tile_slice(j),
+                    i,
+                    j,
+                    tlr.acc,
+                    method,
+                    rule,
+                    seed,
+                ),
+                name=f"gen({i},{j})",
+                priority=4 * (nt - j),
+            )
+        return dh, lh
+    keys = sorted(tlr.low, key=lambda ij: (ij[1], ij[0]))  # column-major
+    for start in range(0, len(keys), batch):
+        group = keys[start : start + batch]
+        specs = [
+            (grid.tile_slice(i), grid.tile_slice(j), i, j) for (i, j) in group
+        ]
         runtime.insert_task(
-            _fill_lowrank_codelet,
-            [(lh[(i, j)], AccessMode.READWRITE)],
-            args=(
-                generate,
-                grid.tile_slice(i),
-                grid.tile_slice(j),
-                i,
-                j,
-                tlr.acc,
-                method,
-                rule,
-                seed,
-            ),
-            name=f"gen({i},{j})",
-            priority=4 * (nt - j),
+            _fill_lowrank_batch_codelet,
+            [(lh[key], AccessMode.READWRITE) for key in group],
+            args=((generate, specs, tlr.acc, method, rule, seed),),
+            name=f"genb({group[0][0]},{group[0][1]})x{len(group)}",
+            priority=4 * (nt - group[0][1]),
         )
     return dh, lh
 
@@ -452,13 +546,14 @@ def generate_and_factor_tlr_matrix(
     runtime: Optional[Runtime] = None,
     fused: bool = False,
     times: Optional["StageTimes"] = None,
+    compression_batch: Optional[int] = None,
 ) -> TLRMatrix:
     """Generate+compress a TLR matrix and Cholesky-factor it in place.
 
     The TLR analogue of :func:`generate_and_factor_tile_matrix` (fused
-    mode additionally folds per-tile compression into the task graph).
-    ``method``/``rule`` must be pre-resolved — workers do not consult the
-    thread-local config.
+    mode additionally folds per-tile compression into the task graph,
+    ``compression_batch`` tiles per task). ``method``/``rule`` must be
+    pre-resolved — workers do not consult the thread-local config.
     """
     from ..utils.timer import StageTimes  # local: utils must not import linalg
     from .tlr_cholesky import tlr_cholesky  # local: avoid import cycle
@@ -468,7 +563,12 @@ def generate_and_factor_tlr_matrix(
         with times.stage("generation"):
             tlr = empty_tlr_matrix(n, nb, acc)
             handles = insert_tlr_generation_tasks(
-                runtime, tlr, generate, method=method, rule=rule
+                runtime,
+                tlr,
+                generate,
+                method=method,
+                rule=rule,
+                compression_batch=compression_batch,
             )
         with times.stage("factorization"):
             tlr_cholesky(tlr, runtime=runtime, handles=handles)
@@ -515,15 +615,19 @@ def generate_tlr_matrix(
     *,
     method: str,
     rule: str,
+    compression_batch: Optional[int] = None,
 ) -> TLRMatrix:
     """Task-parallel standalone generation of a :class:`TLRMatrix`.
 
-    One generate+compress task per tile, then a barrier; used by
-    ``TLRMatrix.from_generator(runtime=...)``. ``method``/``rule`` must
-    be pre-resolved.
+    One generate+compress task per ``compression_batch`` tiles, then a
+    barrier; used by ``TLRMatrix.from_generator(runtime=...)``.
+    ``method``/``rule`` must be pre-resolved.
     """
     tlr = empty_tlr_matrix(n, nb, acc)
-    insert_tlr_generation_tasks(runtime, tlr, generate, method=method, rule=rule)
+    insert_tlr_generation_tasks(
+        runtime, tlr, generate, method=method, rule=rule,
+        compression_batch=compression_batch,
+    )
     try:
         runtime.wait_all()
     finally:

@@ -272,6 +272,7 @@ class MLEstimator:
                 compression_method=ev.compression_method,
                 cache_distances=ev.cache_distances,
                 parallel_generation=ev.parallel_generation,
+                compression_batch=ev.compression_batch,
                 distance_cache=ev.distance_cache,
                 full_distances=ev._full_distances,
             )
@@ -340,3 +341,37 @@ class MLEstimator:
         :meth:`predict`.
         """
         return self.predictor(fit).conditional_variance(new_locations)
+
+    # ---------------------------------------------------------------- serve
+    def save_fit(
+        self,
+        fit: FitResult,
+        path: object,
+        *,
+        include_factor: bool = True,
+        include_distance_cache: bool = False,
+    ):
+        """Persist this fit as a serving bundle (``meta.json`` + ``.npz``).
+
+        Captures everything :class:`~repro.serving.ModelRegistry` needs
+        to serve predictions from a fresh process without re-fitting:
+        the fitted model, the (Morton-ordered) training locations and
+        observations, the substrate configuration, and — with
+        ``include_factor`` (default) — the ``Sigma_22`` Cholesky factor
+        of :meth:`predictor`, so the loaded engine's predictions are
+        bit-identical to this process's and its first request skips
+        factorization. ``include_distance_cache`` additionally persists
+        the fit's distance blocks (large: ~half the dense matrix) so a
+        re-factorization at a *new* theta also pays no distance work.
+
+        Returns the bundle path. See :func:`repro.serving.store.save_model`.
+        """
+        from ..serving.store import bundle_from_fit  # local: serving imports mle
+
+        bundle = bundle_from_fit(
+            self,
+            fit,
+            include_factor=include_factor,
+            include_distance_cache=include_distance_cache,
+        )
+        return bundle.save(path)

@@ -130,6 +130,11 @@ class LikelihoodEvaluator:
         fused into the factorization graph (default: configured
         ``parallel_generation``). No effect without a runtime or for the
         full-block variant.
+    compression_batch:
+        TLR tiles compressed per fused generation task (default:
+        configured ``compression_batch``); amortizes per-task overhead
+        when ``nb`` is small relative to ``nt``. Values are identical
+        for any batch size.
     keep_last_factor:
         Retain a reference to the most recent successful evaluation's
         Cholesky factor (``last_factor``/``last_theta``). Costs no extra
@@ -160,6 +165,7 @@ class LikelihoodEvaluator:
         compression_method: Optional[str] = None,
         cache_distances: Optional[bool] = None,
         parallel_generation: Optional[bool] = None,
+        compression_batch: Optional[int] = None,
         keep_last_factor: bool = False,
     ) -> None:
         if variant not in VARIANTS:
@@ -174,6 +180,11 @@ class LikelihoodEvaluator:
         self.runtime = runtime
         self.compression_method = compression_method or cfg.compression_method
         self.truncation_rule = cfg.truncation
+        # Resolved here (not at insert time): evaluations may run on
+        # threads whose thread-local config never saw the caller's value.
+        self.compression_batch = (
+            cfg.compression_batch if compression_batch is None else max(1, int(compression_batch))
+        )
         self.cache_distances = (
             cfg.cache_distances if cache_distances is None else bool(cache_distances)
         )
@@ -283,6 +294,7 @@ class LikelihoodEvaluator:
             runtime=self.runtime,
             fused=self._fused,
             times=self.times,
+            compression_batch=self.compression_batch,
         )
         self._pending_factor = tlr
         with self.times.stage("solve"):

@@ -43,7 +43,7 @@ with the deterministic SVD compressor).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.linalg as sla
@@ -142,6 +142,10 @@ class PredictionEngine:
         prediction Cholesky task graph (default: configured
         ``parallel_generation``). No effect without a runtime or for the
         full-block variant.
+    compression_batch:
+        TLR tiles compressed per fused generation task (default:
+        configured ``compression_batch``), resolved at construction so
+        serving worker threads never consult their own config.
     distance_cache:
         An existing :class:`~repro.linalg.generation.TileDistanceCache`
         to share (typically the fit evaluator's, so prediction reuses the
@@ -180,6 +184,7 @@ class PredictionEngine:
         compression_method: Optional[str] = None,
         cache_distances: Optional[bool] = None,
         parallel_generation: Optional[bool] = None,
+        compression_batch: Optional[int] = None,
         distance_cache: Optional[TileDistanceCache] = None,
         full_distances: Optional[np.ndarray] = None,
     ) -> None:
@@ -196,6 +201,11 @@ class PredictionEngine:
         self.runtime = runtime
         self.compression_method = compression_method or cfg.compression_method
         self.truncation_rule = cfg.truncation
+        # Resolved at construction: serving executes factor() on worker
+        # threads whose thread-local config is the default.
+        self.compression_batch = (
+            cfg.compression_batch if compression_batch is None else max(1, int(compression_batch))
+        )
         self.cache_distances = (
             cfg.cache_distances if cache_distances is None else bool(cache_distances)
         )
@@ -336,6 +346,7 @@ class PredictionEngine:
             runtime=self.runtime,
             fused=self._fused,
             times=self.times,
+            compression_batch=self.compression_batch,
         )
 
     # --------------------------------------------------------------- solves
@@ -407,6 +418,46 @@ class PredictionEngine:
         self.n_predicts += 1
         return sigma12 @ alpha
 
+    def predict_many(
+        self,
+        target_sets: Sequence[np.ndarray],
+        *,
+        z: Optional[np.ndarray] = None,
+    ) -> List[np.ndarray]:
+        """Serve several target sets in one coalesced kriging pass.
+
+        The micro-batching primitive of
+        :class:`~repro.serving.service.PredictionService`: one engine
+        call resolves the factor and the observation solve ``alpha``
+        once and serves every target set against them, so a group of
+        coalesced requests pays one dispatch, one factor lookup, and one
+        (cached) solve instead of one each.
+
+        Per-request results are **bit-identical** to calling
+        :meth:`predict` once per target set: cross-covariances and the
+        conditional-mean GEMV are evaluated per set, with exactly the
+        shapes a standalone call would use. (Deliberately *not* stacked
+        into one tall matrix: the GEMM inside the euclidean distance
+        kernel and BLAS GEMV both block by row count — a stacked
+        evaluation differs in the last bits — and per-set ufunc passes
+        stay cache-resident where one ``(sum m_i, n)`` pass spills.)
+
+        Counts as one predict (``n_predicts += 1``): it is one pass over
+        one request group.
+        """
+        if len(target_sets) == 0:
+            return []
+        checked = [check_locations(t, f"target_sets[{k}]") for k, t in enumerate(target_sets)]
+        dim = checked[0].shape[1]
+        for k, t in enumerate(checked[1:], start=1):
+            if t.shape[1] != dim:
+                raise ShapeError(
+                    f"target_sets[{k}] has dimension {t.shape[1]}, expected {dim}"
+                )
+        alpha = self._weights() if z is None else self.solve(z)
+        self.n_predicts += 1
+        return [self.cross_covariance(t) @ alpha for t in checked]
+
     def conditional_variance(self, new_locations: np.ndarray) -> np.ndarray:
         """Pointwise kriging variance (eq. (3)) on any substrate.
 
@@ -421,6 +472,41 @@ class PredictionEngine:
             reduction = np.einsum("ij,ij->j", half, half)
         var_marginal = float(self.model(np.zeros(1))[0]) + self.model.nugget
         return np.maximum(var_marginal - reduction, 0.0)
+
+    # -------------------------------------------------------------- serving
+    @classmethod
+    def from_bundle(
+        cls,
+        bundle: object,
+        *,
+        runtime: Optional[Runtime] = None,
+        cache_distances: Optional[bool] = None,
+        parallel_generation: Optional[bool] = None,
+        compression_batch: Optional[int] = None,
+    ) -> "PredictionEngine":
+        """Build an engine from a persisted model bundle — no re-fit.
+
+        ``bundle`` is a :class:`~repro.serving.store.ModelBundle` or a
+        path to one saved with :meth:`ModelBundle.save` /
+        :meth:`~repro.mle.estimator.MLEstimator.save_fit`. The engine is
+        bound to the bundle's (already Morton-ordered) training set,
+        observations, substrate, and fitted model; a persisted
+        ``Sigma_22`` Cholesky factor is adopted directly and persisted
+        distance blocks rehydrate the caches, so the first ``predict``
+        after a process restart can skip generation *and* factorization
+        entirely — predictions are bit-identical to the process that
+        ran the fit.
+        """
+        from ..serving.store import ModelBundle, load_model  # local: serving imports mle
+
+        if not isinstance(bundle, ModelBundle):
+            bundle = load_model(bundle)
+        return bundle.build_engine(
+            runtime=runtime,
+            cache_distances=cache_distances,
+            parallel_generation=parallel_generation,
+            compression_batch=compression_batch,
+        )
 
     # ------------------------------------------------------------- plumbing
     def stats(self) -> dict:

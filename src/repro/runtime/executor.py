@@ -92,6 +92,8 @@ class Runtime:
         self._inflight = 0  # tasks inserted but not finished
         self._first_error: Optional[BaseException] = None
         self._shutdown = False
+        self._shutdown_guard = threading.Lock()  # serializes shutdown()
+        self._closed = False  # workers joined, teardown complete
         self._threads: list[threading.Thread] = []
         if self.engine == "threads":
             for i in range(self.num_workers):
@@ -159,21 +161,45 @@ class Runtime:
     def shutdown(self, *, wait: bool = True) -> None:
         """Stop the workers. The runtime cannot be reused afterwards.
 
+        Idempotent and thread-safe: concurrent and repeated calls (for
+        example a ``with`` block followed by an explicit engine-recycle
+        in :class:`~repro.serving.registry.ModelRegistry`) serialize on
+        an internal guard, and every call returns only after the worker
+        threads are joined — no worker thread outlives the first
+        completed ``shutdown``.
+
         Unlike :meth:`wait_all`, the drain loop here keeps a generous
         safety timeout: shutdown must terminate even if a worker thread
         died abnormally and can no longer signal completion.
         """
-        if self._shutdown:
-            return
-        if wait and self.engine == "threads":
+        with self._shutdown_guard:
+            if self._closed:
+                return
+            if wait and self.engine == "threads" and not self._shutdown:
+                with self._lock:
+                    while self._inflight > 0:
+                        self._all_done.wait(timeout=0.5)
             with self._lock:
-                while self._inflight > 0:
-                    self._all_done.wait(timeout=0.5)
-        with self._lock:
-            self._shutdown = True
-            self._work_available.notify_all()
-        for th in self._threads:
-            th.join(timeout=5.0)
+                self._shutdown = True
+                self._work_available.notify_all()
+            for th in self._threads:
+                th.join(timeout=5.0)
+            # Only declare closed once every worker actually joined; a
+            # timed-out join (worker stuck in a long codelet) keeps the
+            # thread listed so a later shutdown() retries the join and
+            # `closed` never claims more than is true.
+            alive = [th for th in self._threads if th.is_alive()]
+            self._threads = alive
+            if alive:
+                logger.warning(
+                    "shutdown: %d worker thread(s) did not join within timeout", len(alive)
+                )
+            self._closed = not alive
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` has completed (workers joined)."""
+        return self._closed
 
     def __enter__(self) -> "Runtime":
         return self

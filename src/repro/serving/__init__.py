@@ -1,0 +1,47 @@
+"""Serving subsystem: persisted fits, a model registry, and an async service.
+
+The paper's end goal is prediction: ExaGeoStat fits the Matérn model
+once, then kriges many unknown measurements from it (§III, Fig. 5).
+This package turns the PR-2 :class:`~repro.mle.prediction_engine.
+PredictionEngine` — fast but trapped inside the process that ran
+``fit()`` — into a serving story:
+
+* :mod:`repro.serving.store` — :class:`ModelBundle`, a ``meta.json`` +
+  ``arrays.npz`` persistence format for fitted models (theta, kernel
+  spec, Morton-ordered locations, observations, substrate config, and
+  optionally the ``Sigma_22`` Cholesky factor and distance caches), so
+  a fit survives restarts and ships to serving workers;
+* :mod:`repro.serving.registry` — :class:`ModelRegistry`, a thread-safe
+  LRU-bounded keeper of warm engines, sharding models across runtime
+  worker pools;
+* :mod:`repro.serving.service` — :class:`PredictionService`, an asyncio
+  micro-batcher that coalesces concurrent predict requests for one
+  model into single stacked-target / multi-RHS engine calls, with
+  backpressure and per-request deadlines;
+* :mod:`repro.serving.metrics` — :class:`ServiceMetrics`, the counter
+  and latency surface the benchmarks report from.
+
+Fit → save → serve:
+
+>>> est = MLEstimator(locs, z, variant="tlr")          # doctest: +SKIP
+>>> fit = est.fit()                                    # doctest: +SKIP
+>>> est.save_fit(fit, "fits/soil.bundle")              # doctest: +SKIP
+>>> registry = ModelRegistry().register("soil", "fits/soil.bundle")  # doctest: +SKIP
+>>> async with PredictionService(registry) as svc:     # doctest: +SKIP
+...     pred = await svc.predict("soil", targets)
+"""
+
+from .metrics import ServiceMetrics
+from .registry import ModelRegistry
+from .service import PredictionService
+from .store import ModelBundle, bundle_from_fit, load_model, save_model
+
+__all__ = [
+    "ModelBundle",
+    "ModelRegistry",
+    "PredictionService",
+    "ServiceMetrics",
+    "bundle_from_fit",
+    "load_model",
+    "save_model",
+]

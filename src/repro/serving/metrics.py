@@ -1,0 +1,111 @@
+"""Counters and latency percentiles for the serving subsystem.
+
+A deliberately small, dependency-free metrics surface: named monotonic
+counters plus a bounded reservoir of request latencies, all behind one
+lock so the asyncio event loop, executor worker threads, and benchmark
+readers can share a :class:`ServiceMetrics` instance. ``snapshot()``
+returns the plain-dict form that ``benchmarks/bench_serving.py`` writes
+into ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict
+
+__all__ = ["ServiceMetrics"]
+
+
+def _nearest_rank(samples: list, p: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty sample."""
+    rank = max(0, min(len(samples) - 1, round(p / 100.0 * (len(samples) - 1))))
+    return samples[rank]
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency reservoir for a prediction service.
+
+    Parameters
+    ----------
+    max_samples:
+        Latency samples retained (newest-wins ring buffer). Percentiles
+        are computed over this window, so a long-running service reports
+        *recent* latency, not lifetime latency.
+
+    Counter names used by :class:`~repro.serving.service.PredictionService`:
+
+    ``requests``            accepted submissions;
+    ``completed``           requests answered successfully;
+    ``engine_calls``        PredictionEngine invocations (the quantity
+                            micro-batching minimizes);
+    ``batches``             dispatch rounds that grouped >= 2 requests;
+    ``coalesced_requests``  requests served through a grouped call;
+    ``rejected_overload``   submissions refused by backpressure;
+    ``deadline_exceeded``   requests expired before dispatch;
+    ``batch_retries``       failed groups re-dispatched per request so
+                            one bad request cannot poison its batch;
+    ``errors``              requests failed by an engine error.
+    """
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._latencies: Deque[float] = deque(maxlen=int(max_samples))
+
+    # -------------------------------------------------------------- writers
+    def inc(self, name: str, by: int = 1) -> None:
+        """Increment counter ``name`` by ``by`` (created at 0 on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(by)
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one request's submit-to-answer latency."""
+        with self._lock:
+            self._latencies.append(float(seconds))
+
+    def reset(self) -> None:
+        """Zero every counter and drop all latency samples."""
+        with self._lock:
+            self._counters.clear()
+            self._latencies.clear()
+
+    # -------------------------------------------------------------- readers
+    def count(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def percentile(self, p: float) -> float:
+        """Latency percentile ``p`` in [0, 100] over the retained window.
+
+        Nearest-rank on the sorted sample; 0.0 with no samples.
+        """
+        if not (0.0 <= p <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            samples = sorted(self._latencies)
+        if not samples:
+            return 0.0
+        return _nearest_rank(samples, p)
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: all counters plus latency statistics (seconds)."""
+        with self._lock:
+            counters = dict(self._counters)
+            samples = sorted(self._latencies)
+        latency = {"count": len(samples)}
+        if samples:
+            latency.update(
+                mean=sum(samples) / len(samples),
+                p50=_nearest_rank(samples, 50.0),
+                p95=_nearest_rank(samples, 95.0),
+                max=samples[-1],
+            )
+        return {"counters": counters, "latency_seconds": latency}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return f"ServiceMetrics({dict(self._counters)}, samples={len(self._latencies)})"

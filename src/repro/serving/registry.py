@@ -1,0 +1,304 @@
+"""The model registry: lazy bundles, warm engines, sharded runtimes.
+
+A serving worker holds many fitted models but only a bounded number of
+them warm: each warm model is a :class:`~repro.mle.prediction_engine.
+PredictionEngine` whose ``Sigma_22`` factor and distance caches are
+O(n²) memory. :class:`ModelRegistry` is the thread-safe keeper of that
+working set:
+
+* **Lazy loading.** Models are *registered* by bundle path (cheap);
+  the bundle is read and its engine built on the first request.
+* **LRU bounding.** At most ``max_models`` engines stay resident;
+  the least-recently-used engine is dropped and transparently
+  rehydrated from its bundle when requested again.
+* **Sharding.** Models are assigned to ``num_shards`` shards by a
+  stable hash of their id. Each shard owns (lazily) one
+  :class:`~repro.runtime.Runtime` worker pool shared by its engines —
+  the single-process analogue of spreading models across serving
+  workers, bounding total thread count regardless of model count.
+  Runtime shutdown is idempotent, so :meth:`close` (or the context
+  manager) can always recycle the pools safely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..config import get_config
+from ..exceptions import ModelNotFoundError
+from ..mle.prediction_engine import PredictionEngine
+from ..runtime import Runtime
+from .store import ModelBundle, load_model
+
+__all__ = ["ModelRegistry"]
+
+
+def _stable_shard(model_id: str, num_shards: int) -> int:
+    """Deterministic shard assignment, stable across processes and runs."""
+    digest = hashlib.sha1(model_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % num_shards
+
+
+class ModelRegistry:
+    """Thread-safe registry of persisted models and warm engines.
+
+    Parameters
+    ----------
+    max_models:
+        Engines kept warm (default: configured ``serving_max_models``);
+        least-recently-used eviction beyond that.
+    num_shards:
+        Shards the model space is hashed into. Only meaningful together
+        with ``workers_per_shard``.
+    workers_per_shard:
+        When set, each shard lazily creates a
+        :class:`~repro.runtime.Runtime` with that many workers, shared
+        by every engine on the shard (task-parallel factorizations).
+        ``None`` (default) builds serial engines — the right choice for
+        many small models.
+    cache_distances, parallel_generation, compression_batch:
+        Engine knobs, resolved against *this thread's* config at
+        construction — engines may later be built on executor threads
+        whose thread-local config is the default.
+
+    Examples
+    --------
+    >>> from repro.serving import ModelRegistry
+    >>> registry = ModelRegistry(max_models=2)      # doctest: +SKIP
+    >>> registry.register("soil", "fits/soil.bundle")  # doctest: +SKIP
+    >>> registry.engine("soil").predict(targets)    # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        *,
+        max_models: Optional[int] = None,
+        num_shards: int = 1,
+        workers_per_shard: Optional[int] = None,
+        cache_distances: Optional[bool] = None,
+        parallel_generation: Optional[bool] = None,
+        compression_batch: Optional[int] = None,
+    ) -> None:
+        cfg = get_config()
+        self.max_models = (
+            cfg.serving_max_models if max_models is None else max(1, int(max_models))
+        )
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+        self.workers_per_shard = workers_per_shard
+        self.cache_distances = (
+            cfg.cache_distances if cache_distances is None else bool(cache_distances)
+        )
+        self.parallel_generation = (
+            cfg.parallel_generation if parallel_generation is None else bool(parallel_generation)
+        )
+        self.compression_batch = (
+            cfg.compression_batch if compression_batch is None else max(1, int(compression_batch))
+        )
+        self._lock = threading.RLock()
+        self._load_locks: Dict[str, threading.Lock] = {}  # per-model cold loads
+        self._paths: Dict[str, Path] = {}
+        self._bundles: Dict[str, ModelBundle] = {}  # in-memory (unsaved) bundles
+        self._engines: "OrderedDict[str, PredictionEngine]" = OrderedDict()
+        self._runtimes: Dict[int, Runtime] = {}
+        self._closed = False
+        self.n_loads = 0
+        self.n_evictions = 0
+        self.n_hits = 0
+
+    # ------------------------------------------------------------- register
+    def register(self, model_id: str, path: Union[str, Path]) -> "ModelRegistry":
+        """Register a persisted bundle under ``model_id`` (no I/O yet)."""
+        with self._lock:
+            self._check_open()
+            self._paths[model_id] = Path(path)
+        return self
+
+    def add_bundle(self, model_id: str, bundle: ModelBundle) -> "ModelRegistry":
+        """Register an in-memory bundle (kept resident; survives eviction)."""
+        with self._lock:
+            self._check_open()
+            self._bundles[model_id] = bundle
+        return self
+
+    def add_engine(self, model_id: str, engine: PredictionEngine) -> "ModelRegistry":
+        """Install a pre-built engine directly (counts toward ``max_models``).
+
+        Without a registered path or bundle for ``model_id`` the engine
+        cannot be rehydrated after eviction — intended for engines whose
+        fit just happened in this process, and for tests.
+        """
+        with self._lock:
+            self._check_open()
+            self._engines[model_id] = engine
+            self._engines.move_to_end(model_id)
+            self._evict_over_budget()
+        return self
+
+    # --------------------------------------------------------------- lookup
+    def shard_of(self, model_id: str) -> int:
+        """The shard ``model_id`` is hashed onto (stable across runs)."""
+        return _stable_shard(model_id, self.num_shards)
+
+    def has(self, model_id: str) -> bool:
+        """True when ``model_id`` can currently be served (warm or loadable)."""
+        with self._lock:
+            return (
+                not self._closed
+                and (
+                    model_id in self._engines
+                    or model_id in self._bundles
+                    or model_id in self._paths
+                )
+            )
+
+    def engine(self, model_id: str) -> PredictionEngine:
+        """The warm engine for ``model_id``, loading/rehydrating as needed.
+
+        A cold load (disk read + engine construction) runs under a
+        per-model lock with the registry-wide lock *released*, so one
+        model's load never stalls warm lookups of other models;
+        concurrent requests for the same cold model still load it once.
+
+        Raises
+        ------
+        ModelNotFoundError
+            If ``model_id`` was never registered, or was installed only
+            via :meth:`add_engine` and has since been evicted.
+        """
+        with self._lock:
+            self._check_open()
+            engine = self._engines.get(model_id)
+            if engine is not None:
+                self._engines.move_to_end(model_id)
+                self.n_hits += 1
+                return engine
+            if model_id not in self._bundles and model_id not in self._paths:
+                raise ModelNotFoundError(
+                    f"model {model_id!r} is not registered (or was evicted "
+                    f"with no bundle to rehydrate from)"
+                )
+            load_lock = self._load_locks.setdefault(model_id, threading.Lock())
+        with load_lock:
+            with self._lock:  # another thread may have finished the load
+                self._check_open()
+                engine = self._engines.get(model_id)
+                if engine is not None:
+                    self._engines.move_to_end(model_id)
+                    self.n_hits += 1
+                    return engine
+                bundle = self._bundles.get(model_id)
+                path = self._paths.get(model_id)
+                runtime = self._shard_runtime(model_id)
+            if bundle is None:
+                if path is None:
+                    raise ModelNotFoundError(
+                        f"model {model_id!r} is not registered (or was evicted "
+                        f"with no bundle to rehydrate from)"
+                    )
+                bundle = load_model(path)
+            engine = bundle.build_engine(
+                runtime=runtime,
+                cache_distances=self.cache_distances,
+                parallel_generation=self.parallel_generation,
+                compression_batch=self.compression_batch,
+            )
+            with self._lock:
+                self._check_open()
+                self._engines[model_id] = engine
+                self._engines.move_to_end(model_id)
+                self.n_loads += 1
+                self._evict_over_budget()
+                return engine
+
+    def _shard_runtime(self, model_id: str) -> Optional[Runtime]:
+        if self.workers_per_shard is None:
+            return None
+        shard = self.shard_of(model_id)
+        rt = self._runtimes.get(shard)
+        if rt is None or rt.closed:
+            rt = Runtime(num_workers=self.workers_per_shard)
+            self._runtimes[shard] = rt
+        return rt
+
+    def _evict_over_budget(self) -> None:
+        while len(self._engines) > self.max_models:
+            evicted_id, _ = self._engines.popitem(last=False)
+            self.n_evictions += 1
+
+    # ------------------------------------------------------------ lifecycle
+    def evict(self, model_id: str) -> bool:
+        """Drop ``model_id``'s warm engine (if any); returns True if dropped."""
+        with self._lock:
+            if self._engines.pop(model_id, None) is not None:
+                self.n_evictions += 1
+                return True
+            return False
+
+    def close(self) -> None:
+        """Drop every engine and shut down shard runtimes (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._engines.clear()
+            runtimes = list(self._runtimes.values())
+            self._runtimes.clear()
+        for rt in runtimes:
+            rt.shutdown()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran."""
+        return self._closed
+
+    def __enter__(self) -> "ModelRegistry":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ModelNotFoundError("registry is closed")
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def known_models(self) -> List[str]:
+        """Every registered model id (warm or not)."""
+        with self._lock:
+            return sorted(set(self._paths) | set(self._bundles) | set(self._engines))
+
+    @property
+    def loaded_models(self) -> List[str]:
+        """Model ids with a warm engine, least- to most-recently used."""
+        with self._lock:
+            return list(self._engines)
+
+    def stats(self) -> dict:
+        """Load/hit/eviction counters and the warm set (for tests/benchmarks)."""
+        with self._lock:
+            return {
+                "n_loads": self.n_loads,
+                "n_hits": self.n_hits,
+                "n_evictions": self.n_evictions,
+                "loaded": list(self._engines),
+                "known": self.known_models,
+                "shards": {
+                    mid: self.shard_of(mid)
+                    for mid in sorted(set(self._paths) | set(self._bundles))
+                },
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"ModelRegistry(known={len(self.known_models)}, "
+                f"warm={len(self._engines)}/{self.max_models}, "
+                f"shards={self.num_shards})"
+            )

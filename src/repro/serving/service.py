@@ -1,0 +1,423 @@
+"""Async micro-batching prediction service over the model registry.
+
+The kriging engine is optimized for *batched* work: one cached
+``Sigma_22`` factor serves any number of target rows, and
+:meth:`~repro.mle.prediction_engine.PredictionEngine.predict_many`
+turns many target sets into one stacked cross-covariance pass. A
+serving front-end therefore wants the opposite of request-at-a-time
+dispatch: concurrent requests for the same model should *coalesce*.
+
+:class:`PredictionService` implements that with a per-model
+micro-batcher:
+
+* ``await predict(model_id, targets)`` enqueues a request on the
+  model's bounded queue (**backpressure**: a full queue rejects with
+  :class:`~repro.exceptions.ServiceOverloadedError` instead of growing
+  without bound) and awaits its future.
+* The model's batcher task takes the first queued request, keeps
+  collecting for ``batch_window`` seconds (up to ``max_batch``), drops
+  requests whose **deadline** expired, and dispatches the survivors as
+  the fewest engine calls the grouping rules allow:
+
+  - requests using the model's bound observations are served by one
+    ``predict_many`` call — **bit-identical** to sequential single
+    predicts (per-set cross-distances, one stacked elementwise
+    covariance application, and a per-request slice GEMV with exactly
+    the shape a standalone call would use);
+  - requests carrying their own 1-D ``z`` over identical targets are
+    served as one multi-RHS solve (``z`` columns stacked; equal to
+    sequential solves to solver rounding, ~1e-15 relative);
+  - everything else falls back to single calls.
+
+* Engine calls run on a thread pool via ``run_in_executor``, so the
+  event loop keeps accepting requests while BLAS works (NumPy releases
+  the GIL in the heavy kernels).
+
+The service is asyncio-native (``async with PredictionService(...)``)
+and owns nothing global: registry, metrics and executor are injectable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import get_config
+from ..linalg.generation import array_content_key
+from ..exceptions import (
+    DeadlineExceededError,
+    ModelNotFoundError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from ..utils.validation import check_locations
+from .metrics import ServiceMetrics
+from .registry import ModelRegistry
+
+__all__ = ["PredictionService"]
+
+
+class _Request:
+    """One queued predict: payload, bookkeeping, and the answer future."""
+
+    __slots__ = ("targets", "z", "future", "t_submit", "deadline")
+
+    def __init__(
+        self,
+        targets: np.ndarray,
+        z: Optional[np.ndarray],
+        future: "asyncio.Future[np.ndarray]",
+        t_submit: float,
+        deadline: Optional[float],
+    ) -> None:
+        self.targets = targets
+        self.z = z
+        self.future = future
+        self.t_submit = t_submit  # monotonic seconds
+        self.deadline = deadline  # absolute monotonic seconds, or None
+
+
+class PredictionService:
+    """Asyncio micro-batching front-end over a :class:`ModelRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        Source of warm engines (not owned: :meth:`stop` does not close it).
+    batch_window:
+        Seconds to keep coalescing after the first queued request
+        (default: configured ``serving_batch_window``). ``0`` dispatches
+        immediately — the "unbatched" baseline of the benchmarks.
+    max_batch:
+        Cap on requests per dispatch round (default: configured
+        ``serving_max_batch``).
+    max_queue:
+        Per-model queue bound; beyond it submissions are rejected with
+        :class:`ServiceOverloadedError` (default: configured
+        ``serving_queue_size``).
+    default_deadline:
+        Default per-request deadline in seconds from submission
+        (``None``: no deadline). A request whose deadline passes before
+        dispatch fails with :class:`DeadlineExceededError`.
+    rhs_batching:
+        Coalesce same-target explicit-``z`` requests into one multi-RHS
+        solve (equal to sequential solves to solver rounding). Disable
+        for strict bitwise reproducibility of explicit-``z`` traffic.
+    metrics:
+        A :class:`ServiceMetrics` to record into (default: fresh).
+    executor:
+        Thread pool for engine calls (default: one owned worker per
+        registry shard, minimum 2).
+
+    Examples
+    --------
+    >>> async def main():                                  # doctest: +SKIP
+    ...     async with PredictionService(registry) as svc:
+    ...         return await svc.predict("soil", targets)
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        batch_window: Optional[float] = None,
+        max_batch: Optional[int] = None,
+        max_queue: Optional[int] = None,
+        default_deadline: Optional[float] = None,
+        rhs_batching: bool = True,
+        metrics: Optional[ServiceMetrics] = None,
+        executor: Optional[concurrent.futures.Executor] = None,
+    ) -> None:
+        cfg = get_config()
+        self.registry = registry
+        self.batch_window = (
+            cfg.serving_batch_window if batch_window is None else max(0.0, float(batch_window))
+        )
+        self.max_batch = (
+            cfg.serving_max_batch if max_batch is None else max(1, int(max_batch))
+        )
+        self.max_queue = (
+            cfg.serving_queue_size if max_queue is None else max(1, int(max_queue))
+        )
+        self.default_deadline = default_deadline
+        self.rhs_batching = bool(rhs_batching)
+        self.metrics = metrics or ServiceMetrics()
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queues: Dict[str, "asyncio.Queue[_Request]"] = {}
+        self._batchers: Dict[str, "asyncio.Task[None]"] = {}
+        self._closed = True
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> "PredictionService":
+        """Bind to the running event loop and start accepting requests."""
+        if self._loop is not None and not self._closed:
+            return self
+        self._loop = asyncio.get_running_loop()
+        if self._owns_executor:
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=max(2, self.registry.num_shards),
+                thread_name_prefix="repro-serving",
+            )
+        self._closed = False
+        return self
+
+    async def stop(self) -> None:
+        """Stop batchers, fail queued requests, release the executor.
+
+        Idempotent. Queued and in-flight requests fail with
+        :class:`ServiceClosedError`; an engine call already running on
+        the executor finishes on its own thread (the executor shutdown
+        waits for it) but its requests are already answered with the
+        error.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        batchers = list(self._batchers.values())
+        self._batchers.clear()
+        for task in batchers:
+            task.cancel()
+        await asyncio.gather(*batchers, return_exceptions=True)
+        for queue in self._queues.values():
+            while True:
+                try:
+                    req = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                self._fail(req, ServiceClosedError("service stopped"))
+        self._queues.clear()
+        if self._owns_executor and self._executor is not None:
+            executor, self._executor = self._executor, None
+            # Off-loop: shutdown(wait=True) blocks until in-flight engine
+            # calls finish, and must not freeze the event loop meanwhile.
+            await asyncio.get_running_loop().run_in_executor(None, executor.shutdown)
+
+    async def __aenter__(self) -> "PredictionService":
+        return await self.start()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    # -------------------------------------------------------------- predict
+    async def predict(
+        self,
+        model_id: str,
+        targets: np.ndarray,
+        *,
+        z: Optional[np.ndarray] = None,
+        deadline: Optional[float] = None,
+    ) -> np.ndarray:
+        """Conditional mean at ``targets`` under model ``model_id``.
+
+        Parameters
+        ----------
+        model_id:
+            A model known to the registry.
+        targets:
+            ``(m, d)`` prediction locations.
+        z:
+            Optional observation override (else the model's bound
+            observations — the coalescing-friendly path).
+        deadline:
+            Seconds from now this request stays valid (default:
+            ``default_deadline``); expired requests fail with
+            :class:`DeadlineExceededError` instead of occupying an
+            engine. Non-positive values are already expired.
+
+        Raises
+        ------
+        ServiceOverloadedError
+            The model's queue is full (backpressure).
+        ServiceClosedError
+            The service is not running.
+        ModelNotFoundError
+            ``model_id`` is unknown to the registry (checked up front,
+            so bogus ids cannot accumulate queues or batcher tasks).
+        """
+        if self._closed or self._loop is None:
+            raise ServiceClosedError("service is not running (use 'async with' or start())")
+        if not self.registry.has(model_id):
+            raise ModelNotFoundError(f"model {model_id!r} is not registered")
+        targets = check_locations(
+            np.ascontiguousarray(np.asarray(targets, dtype=np.float64)), "targets"
+        )
+        if z is not None:
+            z = np.asarray(z, dtype=np.float64)
+        now = time.monotonic()
+        limit = self.default_deadline if deadline is None else deadline
+        req = _Request(
+            targets,
+            z,
+            self._loop.create_future(),
+            now,
+            None if limit is None else now + float(limit),
+        )
+        queue = self._queue_for(model_id)
+        try:
+            queue.put_nowait(req)
+        except asyncio.QueueFull:
+            self.metrics.inc("rejected_overload")
+            raise ServiceOverloadedError(
+                f"model {model_id!r} has {self.max_queue} queued requests"
+            ) from None
+        self.metrics.inc("requests")
+        return await req.future
+
+    # ------------------------------------------------------------- batching
+    def _queue_for(self, model_id: str) -> "asyncio.Queue[_Request]":
+        queue = self._queues.get(model_id)
+        if queue is None:
+            queue = asyncio.Queue(maxsize=self.max_queue)
+            self._queues[model_id] = queue
+            assert self._loop is not None
+            self._batchers[model_id] = self._loop.create_task(
+                self._batch_loop(model_id, queue), name=f"repro-batcher-{model_id}"
+            )
+        return queue
+
+    async def _batch_loop(self, model_id: str, queue: "asyncio.Queue[_Request]") -> None:
+        """Collect → expire → group → dispatch, forever (cancelled by stop)."""
+        assert self._loop is not None
+        batch: List[_Request] = []
+        try:
+            while True:
+                batch = [await queue.get()]
+                window_open = self.batch_window > 0.0 and self.max_batch > 1
+                t_close = self._loop.time() + self.batch_window
+                while len(batch) < self.max_batch:
+                    # Drain the backlog synchronously first: under
+                    # sustained load the batch fills from already-queued
+                    # requests without paying a timer/task per item, and
+                    # the window only bounds the wait for stragglers.
+                    try:
+                        batch.append(queue.get_nowait())
+                        continue
+                    except asyncio.QueueEmpty:
+                        pass
+                    if not window_open:
+                        break
+                    remaining = t_close - self._loop.time()
+                    if remaining <= 0.0:
+                        break
+                    try:
+                        batch.append(await asyncio.wait_for(queue.get(), remaining))
+                    except asyncio.TimeoutError:
+                        break
+                now = time.monotonic()
+                live = []
+                for req in batch:
+                    if req.deadline is not None and now > req.deadline:
+                        self.metrics.inc("deadline_exceeded")
+                        self._fail(req, DeadlineExceededError(
+                            f"request expired {now - req.deadline:.3f}s before dispatch"
+                        ))
+                    else:
+                        live.append(req)
+                if not live:
+                    continue
+                if len(live) > 1:
+                    self.metrics.inc("batches")
+                for kind, group in self._plan(live):
+                    await self._dispatch(model_id, kind, group)
+        except asyncio.CancelledError:
+            # Requests already taken off the queue (collected into the
+            # current round, or in groups not yet dispatched) are no
+            # longer reachable by stop()'s queue drain — fail them here
+            # or their callers would await forever.
+            for req in batch:
+                self._fail(req, ServiceClosedError("service stopped"))
+            raise
+
+    def _plan(self, live: List[_Request]) -> List[Tuple[str, List[_Request]]]:
+        """Group a round's requests into the fewest engine calls."""
+        groups: List[Tuple[str, List[_Request]]] = []
+        shared = [r for r in live if r.z is None]
+        if len(shared) == 1:
+            groups.append(("single", shared))
+        elif shared:
+            groups.append(("stack", shared))
+        solo = [r for r in live if r.z is not None]
+        if self.rhs_batching:
+            by_targets: Dict[Tuple, List[_Request]] = {}
+            for req in solo:
+                if req.z is not None and req.z.ndim == 1:
+                    by_targets.setdefault(array_content_key(req.targets), []).append(req)
+                else:
+                    groups.append(("single", [req]))
+            for group in by_targets.values():
+                groups.append(("rhs", group) if len(group) > 1 else ("single", group))
+        else:
+            groups.extend(("single", [req]) for req in solo)
+        return groups
+
+    async def _dispatch(self, model_id: str, kind: str, group: List[_Request]) -> None:
+        assert self._loop is not None
+        try:
+            results = await self._loop.run_in_executor(
+                self._executor, self._execute, model_id, kind, group
+            )
+        except asyncio.CancelledError:
+            for req in group:
+                self._fail(req, ServiceClosedError("service stopped mid-dispatch"))
+            raise
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the callers
+            if len(group) > 1:
+                # One malformed request must not poison its batch: retry
+                # each request alone so the error reaches only its owner.
+                self.metrics.inc("batch_retries")
+                for req in group:
+                    await self._dispatch(model_id, "single", [req])
+                return
+            self.metrics.inc("errors", len(group))
+            for req in group:
+                self._fail(req, exc)
+            return
+        now = time.monotonic()
+        for req, result in zip(group, results):
+            # A caller may have cancelled its future (e.g. wait_for
+            # timeout); only deliveries that actually happen count as
+            # completed or contribute a latency sample.
+            if not req.future.done():
+                req.future.set_result(result)
+                self.metrics.inc("completed")
+                self.metrics.observe_latency(now - req.t_submit)
+
+    def _execute(
+        self, model_id: str, kind: str, group: Sequence[_Request]
+    ) -> List[np.ndarray]:
+        """Run one coalesced engine call (executor thread)."""
+        engine = self.registry.engine(model_id)
+        self.metrics.inc("engine_calls")
+        if kind == "stack":
+            self.metrics.inc("coalesced_requests", len(group))
+            return engine.predict_many([req.targets for req in group])
+        if kind == "rhs":
+            self.metrics.inc("coalesced_requests", len(group))
+            stacked = np.column_stack([req.z for req in group])
+            out = engine.predict(group[0].targets, z=stacked)
+            return [np.ascontiguousarray(out[:, j]) for j in range(len(group))]
+        req = group[0]
+        return [engine.predict(req.targets, z=req.z)]
+
+    def _fail(self, req: _Request, exc: BaseException) -> None:
+        if not req.future.done():
+            req.future.set_exception(exc)
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def closed(self) -> bool:
+        """True while the service is not accepting requests."""
+        return self._closed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PredictionService(window={self.batch_window * 1e3:.1f}ms, "
+            f"max_batch={self.max_batch}, queue={self.max_queue}, "
+            f"{'closed' if self._closed else 'running'})"
+        )

@@ -1,0 +1,379 @@
+"""Persisted fits: the ``meta.json`` + ``arrays.npz`` model bundle.
+
+ExaGeoStat's workflow — and ExaGeoStatR's packaging of it — is *fit
+once, predict many times*. Serving that workflow at scale (ROADMAP
+north star) requires the "fit once" half to survive the process that
+ran it: a fitted model must be shippable to serving workers that never
+saw the training data pipeline. :class:`ModelBundle` is that unit of
+shipment. It captures
+
+* the fitted covariance model (family, ``theta``, metric, nugget),
+* the (Morton-ordered) training locations and observations,
+* the substrate configuration (variant, ``nb``, ``acc``, compressor,
+  truncation rule),
+* optionally the ``Sigma_22`` Cholesky factor in its native substrate
+  format (dense / tile / TLR), so a loaded engine adopts the *exact*
+  factor the fit produced — predictions from a fresh process are then
+  bit-identical to the fitting process, and the first request skips
+  generation and factorization entirely,
+* optionally the fit's cached distance blocks, rehydrated into the
+  loaded engine's :class:`~repro.linalg.generation.TileDistanceCache`
+  so even a re-factorization at a new ``theta`` pays no distance work.
+
+On disk a bundle is a directory holding ``meta.json`` (everything
+scalar, versioned) and ``arrays.npz`` (every array, with structured
+keys for factor tiles and distance blocks). Both files are plain
+formats readable without this library.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..config import get_config
+from ..exceptions import BundleError
+from ..kernels import covariance as _covariance
+from ..kernels.covariance import CovarianceModel
+from ..linalg.compression import LowRank
+from ..linalg.generation import TileDistanceCache
+from ..linalg.tile_matrix import TileGrid, TileMatrix
+from ..linalg.tlr_matrix import TLRMatrix
+from ..mle.prediction_engine import Factor, PredictionEngine
+from ..runtime import Runtime
+
+__all__ = ["ModelBundle", "save_model", "load_model", "bundle_from_fit"]
+
+#: On-disk format version; bumped on breaking layout changes.
+FORMAT_VERSION = 1
+
+META_NAME = "meta.json"
+ARRAYS_NAME = "arrays.npz"
+
+#: Covariance families a bundle may reference, by class name.
+KERNEL_FAMILIES: Dict[str, type] = {
+    name: getattr(_covariance, name) for name in _covariance.__all__
+}
+
+
+def _model_to_spec(model: CovarianceModel) -> dict:
+    return {
+        "family": type(model).__name__,
+        "param_names": list(model.param_names),
+        "theta": [float(t) for t in model.theta],
+        "metric": model.metric,
+        "nugget": float(model.nugget),
+    }
+
+
+def _model_from_spec(spec: dict) -> CovarianceModel:
+    family = spec.get("family")
+    cls = KERNEL_FAMILIES.get(family)
+    if cls is None:
+        raise BundleError(
+            f"unknown covariance family {family!r}; known: {sorted(KERNEL_FAMILIES)}"
+        )
+    model = cls(metric=spec["metric"], nugget=spec["nugget"])
+    if list(model.param_names) != list(spec.get("param_names", model.param_names)):
+        raise BundleError(
+            f"bundle parameter names {spec.get('param_names')} do not match "
+            f"{family}'s {list(model.param_names)}"
+        )
+    return model.with_theta(spec["theta"])
+
+
+@dataclass
+class ModelBundle:
+    """A fitted model plus everything needed to serve it.
+
+    Attributes
+    ----------
+    model:
+        Fitted covariance model (at the fit's ``theta``).
+    locations:
+        ``(n, d)`` training locations in the order the fit used them
+        (Morton-ordered when the estimator reordered).
+    z:
+        ``(n,)`` or ``(n, k)`` observations in the same order, or
+        ``None`` for a variance-only model.
+    variant, acc, tile_size, compression_method, truncation:
+        Substrate configuration of the fit (and of the serving engine).
+    factor:
+        Optional ``Sigma_22`` Cholesky factor in the substrate's native
+        format; adopted verbatim by :meth:`build_engine`.
+    distance_blocks:
+        Optional exported :class:`TileDistanceCache` blocks
+        (tile/TLR substrates), keyed ``(r0, r1, c0, c1)``.
+    full_distances:
+        Optional ``(n, n)`` distance matrix (full-block substrate).
+    info:
+        Free-form scalar metadata (loglik, n_evals, ...) persisted into
+        ``meta.json``.
+    """
+
+    model: CovarianceModel
+    locations: np.ndarray
+    z: Optional[np.ndarray]
+    variant: str = "full-block"
+    acc: Optional[float] = None
+    tile_size: Optional[int] = None
+    compression_method: Optional[str] = None
+    truncation: Optional[str] = None
+    factor: Optional[Factor] = None
+    distance_blocks: Optional[Dict[Tuple[int, int, int, int], np.ndarray]] = None
+    full_distances: Optional[np.ndarray] = None
+    info: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        cfg = get_config()
+        self.locations = np.ascontiguousarray(self.locations, dtype=np.float64)
+        if self.z is not None:
+            self.z = np.ascontiguousarray(self.z, dtype=np.float64)
+        self.acc = cfg.tlr_accuracy if self.acc is None else float(self.acc)
+        self.tile_size = cfg.tile_size if self.tile_size is None else int(self.tile_size)
+        self.compression_method = self.compression_method or cfg.compression_method
+        self.truncation = self.truncation or cfg.truncation
+
+    # ----------------------------------------------------------------- save
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the bundle directory (``meta.json`` + ``arrays.npz``)."""
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        arrays: Dict[str, np.ndarray] = {"locations": self.locations}
+        if self.z is not None:
+            arrays["z"] = self.z
+        factor_kind = self._pack_factor(arrays)
+        n_dist = 0
+        if self.distance_blocks:
+            for (r0, r1, c0, c1), d in self.distance_blocks.items():
+                arrays[f"dist_{r0}_{r1}_{c0}_{c1}"] = d
+                n_dist += 1
+        if self.full_distances is not None:
+            arrays["full_distances"] = self.full_distances
+        meta = {
+            "format_version": FORMAT_VERSION,
+            "model": _model_to_spec(self.model),
+            "substrate": {
+                "variant": self.variant,
+                "acc": self.acc,
+                "tile_size": self.tile_size,
+                "compression_method": self.compression_method,
+                "truncation": self.truncation,
+            },
+            "n": int(self.locations.shape[0]),
+            "dim": int(self.locations.shape[1]),
+            "has_z": self.z is not None,
+            "factor_kind": factor_kind,
+            "n_distance_blocks": n_dist,
+            "has_full_distances": self.full_distances is not None,
+            "info": dict(self.info),
+        }
+        with (path / META_NAME).open("w") as fh:
+            json.dump(meta, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        np.savez(path / ARRAYS_NAME, **arrays)
+        return path
+
+    def _pack_factor(self, arrays: Dict[str, np.ndarray]) -> Optional[str]:
+        if self.factor is None:
+            return None
+        if isinstance(self.factor, TileMatrix):
+            for i, j, tile in self.factor.iter_stored():
+                arrays[f"factor_tile_{i}_{j}"] = tile
+            return "tile"
+        if isinstance(self.factor, TLRMatrix):
+            for k in range(self.factor.nt):
+                arrays[f"factor_diag_{k}"] = self.factor.diag[k]
+            for (i, j), lr in self.factor.low.items():
+                arrays[f"factor_u_{i}_{j}"] = lr.u
+                arrays[f"factor_v_{i}_{j}"] = lr.v
+            return "tlr"
+        arrays["factor"] = np.asarray(self.factor)
+        return "dense"
+
+    # ----------------------------------------------------------------- load
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ModelBundle":
+        """Read a bundle directory written by :meth:`save`."""
+        path = Path(path)
+        meta_path = path / META_NAME
+        arrays_path = path / ARRAYS_NAME
+        if not meta_path.is_file() or not arrays_path.is_file():
+            raise BundleError(
+                f"{path} is not a model bundle (missing {META_NAME} or {ARRAYS_NAME})"
+            )
+        with meta_path.open() as fh:
+            meta = json.load(fh)
+        version = meta.get("format_version")
+        if version != FORMAT_VERSION:
+            raise BundleError(
+                f"bundle format version {version!r} unsupported "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        with np.load(arrays_path) as npz:
+            arrays = {k: npz[k] for k in npz.files}
+        sub = meta["substrate"]
+        bundle = cls(
+            model=_model_from_spec(meta["model"]),
+            locations=arrays["locations"],
+            z=arrays.get("z"),
+            variant=sub["variant"],
+            acc=sub["acc"],
+            tile_size=sub["tile_size"],
+            compression_method=sub["compression_method"],
+            truncation=sub["truncation"],
+            info=dict(meta.get("info", {})),
+        )
+        bundle.factor = cls._unpack_factor(meta, arrays, bundle)
+        blocks = {
+            tuple(int(p) for p in name.split("_")[1:]): arr
+            for name, arr in arrays.items()
+            if name.startswith("dist_")
+        }
+        bundle.distance_blocks = blocks or None
+        bundle.full_distances = arrays.get("full_distances")
+        return bundle
+
+    @staticmethod
+    def _unpack_factor(meta: dict, arrays: Dict[str, np.ndarray], bundle: "ModelBundle"):
+        kind = meta.get("factor_kind")
+        if kind is None:
+            return None
+        n, nb = meta["n"], bundle.tile_size
+        if kind == "dense":
+            return arrays["factor"]
+        if kind == "tile":
+            grid = TileGrid(n, nb)
+            tm = TileMatrix(grid, symmetric_lower=True)
+            for name, arr in arrays.items():
+                if name.startswith("factor_tile_"):
+                    _, _, i, j = name.split("_")
+                    tm.set_tile(int(i), int(j), np.ascontiguousarray(arr))
+            return tm
+        if kind == "tlr":
+            grid = TileGrid(n, nb)
+            tlr = TLRMatrix(grid, float(bundle.acc))
+            for name, arr in arrays.items():
+                if name.startswith("factor_diag_"):
+                    tlr.diag[int(name.rsplit("_", 1)[1])] = np.ascontiguousarray(arr)
+            for name, arr in arrays.items():
+                if name.startswith("factor_u_"):
+                    _, _, i, j = name.split("_")
+                    v = arrays[f"factor_v_{i}_{j}"]
+                    tlr.low[(int(i), int(j))] = LowRank(
+                        np.ascontiguousarray(arr), np.ascontiguousarray(v)
+                    )
+            if any(d is None for d in tlr.diag):
+                raise BundleError("TLR factor is missing diagonal tiles")
+            return tlr
+        raise BundleError(f"unknown factor kind {kind!r}")
+
+    # --------------------------------------------------------------- engine
+    def build_engine(
+        self,
+        *,
+        runtime: Optional[Runtime] = None,
+        cache_distances: Optional[bool] = None,
+        parallel_generation: Optional[bool] = None,
+        compression_batch: Optional[int] = None,
+    ) -> PredictionEngine:
+        """A ready-to-serve :class:`PredictionEngine` for this bundle.
+
+        The engine is bound to the bundle's training set, observations
+        and substrate; a persisted factor is adopted (first predict
+        skips generation + factorization) and persisted distance data
+        rehydrates the engine's caches. No fitting, no data pipeline.
+        """
+        engine = PredictionEngine(
+            self.locations,
+            self.z,
+            self.model,
+            variant=self.variant,
+            acc=self.acc,
+            tile_size=self.tile_size,
+            runtime=runtime,
+            compression_method=self.compression_method,
+            cache_distances=cache_distances,
+            parallel_generation=parallel_generation,
+            compression_batch=compression_batch,
+            full_distances=self.full_distances,
+        )
+        if self.distance_blocks and engine.distance_cache is not None:
+            engine.distance_cache.load_blocks(self.distance_blocks)
+        if self.factor is not None:
+            engine.adopt_factor(self.factor, self.model)
+        return engine
+
+    @property
+    def n(self) -> int:
+        """Training-set size."""
+        return int(self.locations.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ModelBundle(n={self.n}, variant={self.variant!r}, "
+            f"model={type(self.model).__name__}, "
+            f"factor={'yes' if self.factor is not None else 'no'})"
+        )
+
+
+def save_model(bundle: ModelBundle, path: Union[str, Path]) -> Path:
+    """Persist ``bundle`` at ``path`` (module-level alias of :meth:`ModelBundle.save`)."""
+    return bundle.save(path)
+
+
+def load_model(path: Union[str, Path]) -> ModelBundle:
+    """Load a bundle directory (module-level alias of :meth:`ModelBundle.load`)."""
+    return ModelBundle.load(path)
+
+
+def bundle_from_fit(
+    estimator,
+    fit,
+    *,
+    include_factor: bool = True,
+    include_distance_cache: bool = False,
+) -> ModelBundle:
+    """Build a :class:`ModelBundle` from an :class:`MLEstimator` and its fit.
+
+    With ``include_factor`` (default) the estimator's
+    :meth:`~repro.mle.estimator.MLEstimator.predictor` factor at
+    ``fit.theta`` is captured — computing it now if the fit did not
+    leave one behind — so serving is bit-identical to in-process
+    prediction and pays no first-request factorization.
+    ``include_distance_cache`` additionally snapshots the fit's distance
+    cache (tile/TLR blocks, or the full-block distance matrix).
+    """
+    ev = estimator.evaluator
+    model = estimator.model.with_theta(fit.theta)
+    factor = None
+    if include_factor:
+        factor = estimator.predictor(fit).factor()
+    distance_blocks = None
+    full_distances = None
+    if include_distance_cache:
+        if ev.distance_cache is not None:
+            distance_blocks = ev.distance_cache.export_blocks()
+        full_distances = ev._full_distances
+    return ModelBundle(
+        model=model,
+        locations=estimator.locations,
+        z=estimator.z,
+        variant=estimator.variant,
+        acc=ev.acc,
+        tile_size=ev.tile_size,
+        compression_method=ev.compression_method,
+        truncation=ev.truncation_rule,
+        factor=factor,
+        distance_blocks=distance_blocks,
+        full_distances=full_distances,
+        info={
+            "loglik": float(fit.loglik),
+            "n_evals": int(fit.n_evals),
+            "time_total": float(fit.time_total),
+        },
+    )

@@ -238,3 +238,100 @@ class TestEvaluatorPipeline:
             )
             assert ev(model.theta) == PENALTY_LOGLIK
             assert ev.n_failures == 1
+
+
+class TestCacheRehydration:
+    """export_blocks/load_blocks: the serving-store persistence hooks."""
+
+    def test_round_trip_blocks_identical_and_hit_only(self, locs):
+        src = TileDistanceCache(locs, NB).warm()
+        blocks = src.export_blocks()
+        assert len(blocks) == src.n_blocks
+
+        dst = TileDistanceCache(locs, NB)
+        installed = dst.load_blocks(blocks)
+        assert installed == src.n_blocks
+        assert dst.misses == 0 and dst.hits == 0  # rehydration is neither
+        grid = dst.grid
+        for i in range(grid.nt):
+            for j in range(i + 1):
+                rs, cs = grid.tile_slice(i), grid.tile_slice(j)
+                np.testing.assert_array_equal(dst.block(rs, cs), src.block(rs, cs))
+        assert dst.misses == 0  # every block came from the rehydrated set
+
+    def test_load_blocks_rejects_wrong_shape(self, locs):
+        from repro.exceptions import ShapeError
+
+        cache = TileDistanceCache(locs, NB)
+        with pytest.raises(ShapeError):
+            cache.load_blocks({(0, NB, 0, NB): np.zeros((NB, NB - 1))})
+
+
+class TestBatchedCompression:
+    """compression_batch: several tiles' SVDs per runtime task, same values."""
+
+    @pytest.mark.parametrize("batch", [2, 4, 7, 64])
+    def test_batched_generation_bit_identical(self, locs, batch):
+        model = MaternCovariance(1.0, 0.1, 0.5)
+        gen = lambda rs, cs: model.tile(locs, rs, cs)  # noqa: E731
+        serial = TLRMatrix.from_generator(N, NB, gen, acc=1e-8, method="svd")
+        with Runtime(num_workers=4, trace=True) as rt:
+            batched = empty_tlr_matrix(N, NB, 1e-8)
+            insert_tlr_generation_tasks(
+                rt, batched, gen, method="svd", rule="relative",
+                compression_batch=batch,
+            )
+            rt.wait_all()
+            names = [e.name for e in rt.trace.events]
+        for k in range(serial.nt):
+            np.testing.assert_array_equal(batched.diag[k], serial.diag[k])
+        assert set(batched.low) == set(serial.low)
+        for key, lr in serial.low.items():
+            np.testing.assert_array_equal(batched.low[key].u, lr.u)
+            np.testing.assert_array_equal(batched.low[key].v, lr.v)
+        # Task-count amortization: ceil(n_offdiag / batch) batch tasks.
+        n_batch_tasks = sum(1 for name in names if name.startswith("genb"))
+        assert n_batch_tasks == -(-len(serial.low) // batch)
+
+    def test_fused_cholesky_with_batching_matches_serial(self, locs):
+        from repro.linalg.generation import generate_and_factor_tlr_matrix
+
+        model = MaternCovariance(1.0, 0.1, 0.5)
+        gen = lambda rs, cs: model.tile(locs, rs, cs)  # noqa: E731
+        reference = TLRMatrix.from_generator(N, NB, gen, acc=1e-9, method="svd")
+        tlr_cholesky(reference)
+        with Runtime(num_workers=4) as rt:
+            fused = generate_and_factor_tlr_matrix(
+                N, NB, gen, 1e-9, method="svd", rule="relative",
+                runtime=rt, fused=True, compression_batch=3,
+            )
+        np.testing.assert_allclose(fused.to_dense(), reference.to_dense(), atol=1e-10)
+
+    def test_config_knob_reaches_task_insertion(self, locs):
+        model = MaternCovariance(1.0, 0.1, 0.5)
+        gen = lambda rs, cs: model.tile(locs, rs, cs)  # noqa: E731
+        with use_config(compression_batch=5):
+            with Runtime(num_workers=2, trace=True) as rt:
+                tlr = empty_tlr_matrix(N, NB, 1e-8)
+                insert_tlr_generation_tasks(rt, tlr, gen, method="svd", rule="relative")
+                rt.wait_all()
+                names = [e.name for e in rt.trace.events]
+        n_off = len(tlr.low)
+        assert sum(1 for n in names if n.startswith("genb")) == -(-n_off // 5)
+
+    def test_evaluator_loglik_identical_with_batching(self, locs):
+        model = MaternCovariance(1.0, 0.1, 0.5)
+        z = sample_gaussian_field(locs, model, seed=5)
+        seed_ev = LikelihoodEvaluator(
+            locs, z, model, variant="tlr", acc=1e-9, tile_size=NB,
+            cache_distances=False, parallel_generation=False,
+        )
+        with Runtime(num_workers=4) as rt:
+            batched_ev = LikelihoodEvaluator(
+                locs, z, model, variant="tlr", acc=1e-9, tile_size=NB,
+                runtime=rt, cache_distances=True, parallel_generation=True,
+                compression_batch=4,
+            )
+            for theta_scale in (1.0, 1.2):
+                theta = model.theta * theta_scale
+                assert batched_ev(theta) == seed_ev(theta)

@@ -215,3 +215,86 @@ class TestSchedulerQueues:
             release.set()
             rt.wait_all()
         assert order == [1, 2, 0]
+
+
+class TestShutdownLifecycle:
+    """Shutdown must be idempotent and thread-safe so the serving registry
+    can recycle runtimes without leaking worker threads."""
+
+    def test_shutdown_idempotent(self):
+        rt = Runtime(num_workers=2)
+        workers = list(rt._threads)
+        assert not rt.closed
+        rt.shutdown()
+        assert rt.closed
+        rt.shutdown()  # second call is a no-op
+        rt.shutdown(wait=False)
+        assert rt.closed
+        assert not any(th.is_alive() for th in workers)
+
+    def test_context_manager_then_explicit_shutdown(self):
+        with Runtime(num_workers=2) as rt:
+            h = rt.register(np.zeros(3))
+            rt.insert_task(lambda x: None, [(h, RW)])
+            rt.wait_all()
+        assert rt.closed
+        rt.shutdown()  # recycle path: explicit close after the with-block
+        with pytest.raises(RuntimeEngineError):
+            rt.insert_task(lambda x: None, [(h, RW)])
+
+    def test_concurrent_shutdown_joins_all_workers(self):
+        rt = Runtime(num_workers=4)
+        workers = list(rt._threads)
+        errors: list[BaseException] = []
+
+        def close():
+            try:
+                rt.shutdown()
+            except BaseException as exc:  # pragma: no cover - should not happen
+                errors.append(exc)
+
+        threads = [threading.Thread(target=close) for _ in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join(timeout=10.0)
+        assert not errors
+        assert rt.closed
+        assert not any(th.is_alive() for th in workers)
+
+    def test_shutdown_drains_pending_work_once(self):
+        rt = Runtime(num_workers=2)
+        h = rt.register(np.zeros(1))
+
+        def slow(x):
+            time.sleep(0.02)
+            x += 1.0
+
+        for _ in range(6):
+            rt.insert_task(slow, [(h, RW)])
+        rt.shutdown()  # waits for the in-flight tasks
+        assert h.get()[0] == 6.0
+        rt.shutdown()  # and stays closed
+        assert rt.closed
+
+    def test_no_worker_thread_leak_across_recycles(self):
+        def worker_count() -> int:
+            return sum(
+                1 for th in threading.enumerate() if th.name.startswith("repro-worker")
+            )
+
+        before = worker_count()
+        for _ in range(5):
+            with Runtime(num_workers=3) as rt:
+                h = rt.register(np.zeros(2))
+                rt.insert_task(lambda x: None, [(h, RW)])
+                rt.wait_all()
+        assert worker_count() == before
+
+    def test_serial_engine_shutdown_idempotent(self):
+        rt = Runtime(engine="serial")
+        h = rt.register(np.zeros(1))
+        rt.insert_task(lambda x: None, [(h, RW)])
+        rt.shutdown()
+        rt.shutdown()
+        assert rt.closed

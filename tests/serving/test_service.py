@@ -1,0 +1,377 @@
+"""PredictionService: micro-batching parity, coalescing, deadlines,
+backpressure, and lifecycle.
+
+Tests drive asyncio explicitly (``asyncio.run``) so no async test
+plugin is required.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import generate_irregular_grid, sample_gaussian_field
+from repro.exceptions import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.kernels import MaternCovariance
+from repro.mle import MLEstimator
+from repro.serving import ModelBundle, ModelRegistry, PredictionService
+
+N, NB, ACC = 144, 36, 1e-9
+VARIANTS = ("full-block", "full-tile", "tlr")
+
+
+@pytest.fixture(scope="module")
+def problem():
+    locs = generate_irregular_grid(N, seed=0)
+    model = MaternCovariance(1.0, 0.1, 0.5)
+    z = sample_gaussian_field(locs, model, seed=1)
+    return locs, z, model
+
+
+def make_registry(problem, variant="full-block", **bundle_kwargs) -> ModelRegistry:
+    locs, z, model = problem
+    bundle = ModelBundle(
+        model=model, locations=locs, z=z, variant=variant,
+        tile_size=NB, acc=ACC, **bundle_kwargs,
+    )
+    return ModelRegistry(max_models=4).add_bundle("m", bundle)
+
+
+# --------------------------------------------------------------------------
+# Coalescing parity: micro-batched == sequential, bit for bit.
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_concurrent_requests_bit_identical_to_sequential(problem, variant):
+    registry = make_registry(problem, variant)
+    rng = np.random.default_rng(5)
+    target_sets = [
+        np.ascontiguousarray(rng.random((m, 2))) for m in (7, 3, 11, 5, 9, 4)
+    ]
+    # Sequential reference: one engine, one predict per target set.
+    sequential = [registry.engine("m").predict(t) for t in target_sets]
+
+    async def main():
+        async with PredictionService(
+            registry, batch_window=0.2, max_batch=32, rhs_batching=True
+        ) as svc:
+            outs = await asyncio.gather(
+                *[svc.predict("m", t) for t in target_sets]
+            )
+            return outs, svc.metrics.snapshot()
+
+    with registry:
+        outs, snap = asyncio.run(main())
+    for got, ref in zip(outs, sequential):
+        np.testing.assert_array_equal(got, ref)
+    # >= 4 concurrent requests coalesced into <= 2 engine calls.
+    assert snap["counters"]["requests"] == len(target_sets)
+    assert snap["counters"]["engine_calls"] <= 2
+    assert snap["counters"]["coalesced_requests"] >= 4
+
+
+def test_explicit_rhs_requests_coalesce_to_multirhs(problem):
+    locs, z, model = problem
+    registry = make_registry(problem)
+    targets = generate_irregular_grid(8, seed=7)
+    rng = np.random.default_rng(3)
+    zs = [z, z + 0.1 * rng.standard_normal(N), rng.standard_normal(N)]
+    engine = registry.engine("m")
+    sequential = [engine.predict(targets, z=zi) for zi in zs]
+
+    async def main():
+        async with PredictionService(registry, batch_window=0.2, max_batch=16) as svc:
+            outs = await asyncio.gather(
+                *[svc.predict("m", targets, z=zi) for zi in zs]
+            )
+            return outs, svc.metrics.snapshot()
+
+    with registry:
+        outs, snap = asyncio.run(main())
+    for got, ref in zip(outs, sequential):
+        np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-12)
+    assert snap["counters"]["engine_calls"] <= 2
+
+
+def test_mixed_traffic_grouping(problem):
+    locs, z, model = problem
+    registry = make_registry(problem)
+    t_shared = generate_irregular_grid(6, seed=11)
+    t_solo = generate_irregular_grid(4, seed=12)
+    engine = registry.engine("m")
+    ref_shared = engine.predict(t_shared)
+    ref_solo = engine.predict(t_solo, z=2.0 * z)
+
+    async def main():
+        async with PredictionService(registry, batch_window=0.2, max_batch=16) as svc:
+            shared_calls = [svc.predict("m", t_shared) for _ in range(3)]
+            solo_call = svc.predict("m", t_solo, z=2.0 * z)
+            out = await asyncio.gather(*shared_calls, solo_call)
+            return out, svc.metrics.snapshot()
+
+    with registry:
+        out, snap = asyncio.run(main())
+    for got in out[:3]:
+        np.testing.assert_array_equal(got, ref_shared)
+    np.testing.assert_array_equal(out[3], ref_solo)
+    # One stacked call for the bound-z trio + one single for the override.
+    assert snap["counters"]["engine_calls"] <= 2
+
+
+def test_unbatched_mode_one_call_per_request(problem):
+    registry = make_registry(problem)
+    targets = generate_irregular_grid(5, seed=2)
+
+    async def main():
+        async with PredictionService(registry, batch_window=0.0, max_batch=1) as svc:
+            for _ in range(4):
+                await svc.predict("m", targets)
+            return svc.metrics.snapshot()
+
+    with registry:
+        snap = asyncio.run(main())
+    assert snap["counters"]["engine_calls"] == 4
+    assert snap["counters"].get("coalesced_requests", 0) == 0
+
+
+# --------------------------------------------------------------------------
+# Deadlines, backpressure, lifecycle.
+# --------------------------------------------------------------------------
+
+
+def test_expired_deadline_rejected_before_dispatch(problem):
+    registry = make_registry(problem)
+    targets = generate_irregular_grid(5, seed=2)
+
+    async def main():
+        async with PredictionService(registry, batch_window=0.01) as svc:
+            with pytest.raises(DeadlineExceededError):
+                await svc.predict("m", targets, deadline=-1.0)
+            # A sane deadline still succeeds.
+            out = await svc.predict("m", targets, deadline=30.0)
+            return out, svc.metrics.snapshot()
+
+    with registry:
+        out, snap = asyncio.run(main())
+    assert out.shape == (5,)
+    assert snap["counters"]["deadline_exceeded"] == 1
+    assert snap["counters"]["completed"] == 1
+
+
+class _BlockingEngine:
+    """Engine stub whose predict blocks until released (backpressure tests)."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.calls = 0
+
+    def predict(self, targets, z=None):
+        self.calls += 1
+        assert self.release.wait(timeout=30.0)
+        return np.zeros(np.asarray(targets).shape[0])
+
+    def predict_many(self, target_sets, z=None):
+        self.calls += 1
+        assert self.release.wait(timeout=30.0)
+        return [np.zeros(np.asarray(t).shape[0]) for t in target_sets]
+
+
+def test_backpressure_rejects_when_queue_full(problem):
+    registry = ModelRegistry(max_models=2)
+    blocker = _BlockingEngine()
+    registry.add_engine("slow", blocker)
+    targets = np.random.default_rng(0).random((4, 2))
+
+    async def main():
+        async with PredictionService(
+            registry, batch_window=0.01, max_batch=1, max_queue=2
+        ) as svc:
+            first = asyncio.ensure_future(svc.predict("slow", targets))
+            # Wait until the batcher has taken `first` off the queue and is
+            # blocked inside the engine call.
+            for _ in range(200):
+                await asyncio.sleep(0.005)
+                if blocker.calls:
+                    break
+            assert blocker.calls == 1
+            queued = [asyncio.ensure_future(svc.predict("slow", targets)) for _ in range(2)]
+            await asyncio.sleep(0)
+            with pytest.raises(ServiceOverloadedError):
+                await svc.predict("slow", targets)  # queue (2) is full
+            blocker.release.set()
+            results = await asyncio.gather(first, *queued)
+            return results, svc.metrics.snapshot()
+
+    with registry:
+        results, snap = asyncio.run(main())
+    assert len(results) == 3 and all(r.shape == (4,) for r in results)
+    assert snap["counters"]["rejected_overload"] == 1
+    assert snap["counters"]["completed"] == 3
+
+
+def test_engine_errors_propagate_to_callers(problem):
+    registry = ModelRegistry(max_models=2)
+
+    class _Boom:
+        def predict(self, targets, z=None):
+            raise ValueError("engine exploded")
+
+        def predict_many(self, target_sets, z=None):
+            raise ValueError("engine exploded")
+
+    registry.add_engine("boom", _Boom())
+
+    async def main():
+        async with PredictionService(registry, batch_window=0.0) as svc:
+            with pytest.raises(ValueError, match="engine exploded"):
+                await svc.predict("boom", np.zeros((3, 2)))
+            return svc.metrics.snapshot()
+
+    with registry:
+        snap = asyncio.run(main())
+    assert snap["counters"]["errors"] == 1
+
+
+def test_closed_service_rejects_and_stop_fails_queued(problem):
+    registry = make_registry(problem)
+    targets = generate_irregular_grid(5, seed=2)
+    svc = PredictionService(registry, batch_window=0.01)
+
+    async def not_started():
+        with pytest.raises(ServiceClosedError):
+            await svc.predict("m", targets)
+
+    asyncio.run(not_started())
+
+    async def stopped():
+        async with PredictionService(registry, batch_window=0.01) as svc2:
+            await svc2.predict("m", targets)
+        with pytest.raises(ServiceClosedError):
+            await svc2.predict("m", targets)
+        await svc2.stop()  # idempotent
+
+    with registry:
+        asyncio.run(stopped())
+
+
+def test_stop_fails_inflight_requests(problem):
+    registry = ModelRegistry(max_models=2)
+    blocker = _BlockingEngine()
+    registry.add_engine("slow", blocker)
+    targets = np.random.default_rng(0).random((4, 2))
+
+    async def main():
+        svc = PredictionService(registry, batch_window=0.01, max_batch=1)
+        await svc.start()
+        pending = asyncio.ensure_future(svc.predict("slow", targets))
+        for _ in range(200):
+            await asyncio.sleep(0.005)
+            if blocker.calls:
+                break
+        # Release only after stop() has cancelled the dispatch, so the
+        # request deterministically fails closed; the timer unblocks the
+        # executor thread so stop()'s executor shutdown can complete.
+        threading.Timer(0.2, blocker.release.set).start()
+        await svc.stop()
+        with pytest.raises(ServiceClosedError):
+            await pending
+
+    with registry:
+        asyncio.run(main())
+
+
+def test_fit_save_serve_end_to_end(problem, tmp_path):
+    """The acceptance path: fit -> save -> registry -> service, bit-identical."""
+    locs, z, model = problem
+    est = MLEstimator(locs, z, variant="tlr", tile_size=NB, acc=ACC)
+    fit = est.fit(maxiter=12)
+    targets = generate_irregular_grid(10, seed=21)
+    reference = est.predict(fit, targets)
+    path = est.save_fit(fit, tmp_path / "m.bundle")
+
+    async def main():
+        with ModelRegistry() as registry:
+            registry.register("m", path)
+            async with PredictionService(registry, batch_window=0.1) as svc:
+                outs = await asyncio.gather(*[svc.predict("m", targets) for _ in range(4)])
+                return outs, svc.metrics.snapshot()
+
+    outs, snap = asyncio.run(main())
+    for got in outs:
+        np.testing.assert_array_equal(got, reference)
+    assert snap["counters"]["engine_calls"] <= 2
+    # The bundle's factor was adopted — serving never factorized.
+    assert snap["counters"]["completed"] == 4
+
+
+def test_stop_fails_requests_held_in_open_batch_window(problem):
+    """Regression: a request already dequeued into a batch whose window is
+    still open must fail on stop(), not hang its caller forever."""
+    registry = make_registry(problem)
+    targets = generate_irregular_grid(5, seed=2)
+
+    async def main():
+        svc = PredictionService(registry, batch_window=30.0, max_batch=8)
+        await svc.start()
+        pending = asyncio.ensure_future(svc.predict("m", targets))
+        await asyncio.sleep(0.1)  # batcher holds the request, window open
+        t0 = time.monotonic()
+        await svc.stop()
+        assert time.monotonic() - t0 < 5.0  # no window-length stall
+        with pytest.raises(ServiceClosedError):
+            await pending
+
+    with registry:
+        asyncio.run(main())
+
+
+def test_unknown_model_rejected_at_submission(problem):
+    """Regression: bogus model ids must not allocate queues/batcher tasks."""
+    from repro.exceptions import ModelNotFoundError
+
+    registry = make_registry(problem)
+
+    async def main():
+        async with PredictionService(registry) as svc:
+            with pytest.raises(ModelNotFoundError):
+                await svc.predict("no-such-model", np.zeros((3, 2)))
+            assert "no-such-model" not in svc._queues  # nothing leaked
+
+    with registry:
+        asyncio.run(main())
+
+
+def test_malformed_request_does_not_poison_batch(problem):
+    """Regression: one bad request in a coalesced group fails alone; the
+    group retries per-request so innocent callers still get answers."""
+    locs, z, model = problem
+    registry = make_registry(problem)
+    targets = generate_irregular_grid(6, seed=13)
+    good_z = np.asarray(z)
+    bad_z = np.asarray(z)[:-1]  # wrong length: fails only inside the engine
+    engine = registry.engine("m")
+    reference = engine.predict(targets, z=good_z)
+
+    async def main():
+        async with PredictionService(registry, batch_window=0.2, max_batch=8) as svc:
+            good = asyncio.ensure_future(svc.predict("m", targets, z=good_z))
+            bad = asyncio.ensure_future(svc.predict("m", targets, z=bad_z))
+            await asyncio.sleep(0)
+            results = await asyncio.gather(good, bad, return_exceptions=True)
+            return results, svc.metrics.snapshot()
+
+    with registry:
+        (good_result, bad_result), snap = asyncio.run(main())
+    np.testing.assert_allclose(good_result, reference, rtol=1e-12, atol=1e-12)
+    assert isinstance(bad_result, Exception)
+    assert snap["counters"]["errors"] == 1
+    assert snap["counters"].get("batch_retries", 0) >= 1

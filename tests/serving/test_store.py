@@ -1,0 +1,150 @@
+"""Round-trip tests for the serving store: a persisted fit must serve
+predictions bit-identical to the process that ran the fit."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import generate_irregular_grid, sample_gaussian_field
+from repro.exceptions import BundleError
+from repro.kernels import ExponentialCovariance, MaternCovariance
+from repro.mle import MLEstimator, PredictionEngine
+from repro.serving import ModelBundle, bundle_from_fit, load_model, save_model
+
+N, NB, ACC = 144, 36, 1e-9
+VARIANTS = ("full-block", "full-tile", "tlr")
+
+
+@pytest.fixture(scope="module")
+def problem():
+    locs = generate_irregular_grid(N, seed=0)
+    truth = MaternCovariance(1.0, 0.1, 0.5)
+    z = sample_gaussian_field(locs, truth, seed=1)
+    targets = generate_irregular_grid(16, seed=3)
+    return locs, z, targets
+
+
+def _fit(problem, variant, **kwargs):
+    locs, z, _ = problem
+    est = MLEstimator(locs, z, variant=variant, tile_size=NB, acc=ACC, **kwargs)
+    return est, est.fit(maxiter=12)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_round_trip_predictions_bit_identical(problem, variant, tmp_path):
+    locs, z, targets = problem
+    est, fit = _fit(problem, variant)
+    reference = est.predict(fit, targets)
+
+    path = est.save_fit(fit, tmp_path / "model.bundle")
+    engine = PredictionEngine.from_bundle(path)
+    got = engine.predict(targets)
+
+    np.testing.assert_array_equal(got, reference)
+    # The persisted factor was adopted: no factorization on first predict.
+    assert engine.n_factorizations == 0
+    # Batched multi-RHS through the loaded engine also matches (to solver
+    # rounding: a 2-column TRSM orders its flops differently than TRSV).
+    batch = np.column_stack([engine.z, engine.z * 0.5])
+    got_batch = engine.predict(targets, z=batch)
+    np.testing.assert_allclose(got_batch[:, 0], reference, rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_round_trip_conditional_variance(problem, variant, tmp_path):
+    locs, z, targets = problem
+    est, fit = _fit(problem, variant)
+    reference = est.conditional_variance(fit, targets)
+    path = est.save_fit(fit, tmp_path / "model.bundle")
+    got = PredictionEngine.from_bundle(path).conditional_variance(targets)
+    np.testing.assert_array_equal(got, reference)
+
+
+def test_metadata_round_trip(problem, tmp_path):
+    est, fit = _fit(problem, "tlr")
+    bundle = bundle_from_fit(est, fit)
+    path = save_model(bundle, tmp_path / "m.bundle")
+    loaded = load_model(path)
+
+    assert type(loaded.model) is type(est.model)
+    np.testing.assert_array_equal(loaded.model.theta, fit.theta)
+    assert loaded.model.metric == est.model.metric
+    assert loaded.model.nugget == est.model.nugget
+    assert loaded.variant == "tlr"
+    assert loaded.tile_size == NB and loaded.acc == ACC
+    np.testing.assert_array_equal(loaded.locations, est.locations)  # Morton order kept
+    np.testing.assert_array_equal(loaded.z, est.z)
+    assert loaded.info["loglik"] == pytest.approx(fit.loglik)
+    # The on-disk form is a plain directory with meta.json + arrays.npz.
+    meta = json.loads((path / "meta.json").read_text())
+    assert meta["format_version"] == 1
+    assert meta["model"]["family"] == "MaternCovariance"
+
+
+def test_distance_cache_rehydration_skips_distance_work(problem, tmp_path):
+    est, fit = _fit(problem, "full-tile")
+    path = est.save_fit(
+        fit, tmp_path / "m.bundle", include_factor=False, include_distance_cache=True
+    )
+    engine = PredictionEngine.from_bundle(path)
+    assert engine.n_factorizations == 0 and engine._factor is None
+    assert engine.distance_cache is not None
+    assert engine.distance_cache.n_blocks > 0
+    engine.factor()  # generates from rehydrated blocks, no distance misses
+    assert engine.distance_cache.misses == 0
+    # Values still match the in-process engine.
+    locs, z, targets = problem
+    np.testing.assert_array_equal(engine.predict(targets), est.predict(fit, targets))
+
+
+def test_bundle_without_factor_refactorizes_to_same_values(problem, tmp_path):
+    locs, z, targets = problem
+    est, fit = _fit(problem, "full-block")
+    reference = est.predict(fit, targets)
+    path = est.save_fit(fit, tmp_path / "m.bundle", include_factor=False)
+    engine = PredictionEngine.from_bundle(path)
+    got = engine.predict(targets)
+    assert engine.n_factorizations == 1
+    np.testing.assert_array_equal(got, reference)
+
+
+def test_variance_only_bundle(problem, tmp_path):
+    locs, z, targets = problem
+    model = ExponentialCovariance(1.2, 0.15, nugget=1e-4)
+    bundle = ModelBundle(model=model, locations=locs, z=None, variant="full-block")
+    path = bundle.save(tmp_path / "m.bundle")
+    engine = load_model(path).build_engine()
+    var = engine.conditional_variance(targets)
+    assert var.shape == (targets.shape[0],)
+    # Explicit z still works; a bound-z predict does not exist.
+    pred = engine.predict(targets, z=np.asarray(z))
+    assert pred.shape == (targets.shape[0],)
+
+
+def test_load_errors(tmp_path):
+    with pytest.raises(BundleError):
+        load_model(tmp_path / "missing.bundle")
+    bad = tmp_path / "bad.bundle"
+    bad.mkdir()
+    (bad / "meta.json").write_text("{}")
+    with pytest.raises(BundleError):
+        load_model(bad)  # no arrays.npz
+    est_path = tmp_path / "versioned.bundle"
+    est_path.mkdir()
+    (est_path / "meta.json").write_text(json.dumps({"format_version": 99}))
+    (est_path / "arrays.npz").write_bytes(b"")
+    with pytest.raises(BundleError):
+        load_model(est_path)
+
+
+def test_unknown_family_rejected(problem, tmp_path):
+    est, fit = _fit(problem, "full-block")
+    path = est.save_fit(fit, tmp_path / "m.bundle")
+    meta = json.loads((path / "meta.json").read_text())
+    meta["model"]["family"] = "NoSuchCovariance"
+    (path / "meta.json").write_text(json.dumps(meta))
+    with pytest.raises(BundleError):
+        load_model(path)
