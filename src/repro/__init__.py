@@ -16,7 +16,8 @@ Estimation for the Prediction of Large-Scale Geostatistics Simulations*
 * :mod:`repro.mle` — likelihood evaluators, the MLE driver, kriging
   prediction, Monte-Carlo harness;
 * :mod:`repro.serving` — persisted model bundles, a warm-engine
-  registry, and an async micro-batching prediction service;
+  registry, an async micro-batching prediction service, and a
+  multi-process HTTP server/client with hot-reload;
 * :mod:`repro.perfmodel` — machine/cluster models and the performance
   estimator standing in for the paper's Intel servers and Shaheen-2;
 * :mod:`repro.experiments` — drivers regenerating every table and figure.
@@ -63,6 +64,8 @@ from .serving import (
     ModelBundle,
     ModelRegistry,
     PredictionService,
+    ServingClient,
+    ServingServer,
     load_model,
     save_model,
 )
@@ -98,6 +101,8 @@ __all__ = [
     "ModelBundle",
     "ModelRegistry",
     "PredictionService",
+    "ServingClient",
+    "ServingServer",
     "load_model",
     "save_model",
 ]

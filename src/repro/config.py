@@ -104,6 +104,22 @@ class Config:
         Engines the :class:`~repro.serving.registry.ModelRegistry`
         keeps warm (least-recently-used eviction; evicted models are
         rehydrated from their bundles on the next request).
+    serving_workers:
+        Worker processes a :class:`~repro.serving.server.ServingServer`
+        spawns; each hosts its own registry + service and owns the
+        models hashed onto its shard.
+    serving_adaptive_window:
+        Learn each model's coalescing window from its recent arrival
+        rate (recorded in :class:`~repro.serving.metrics.ServiceMetrics`)
+        instead of using the fixed ``serving_batch_window``: the window
+        approximates the time a batch takes to fill at the observed
+        rate, capped at ``serving_max_window``. Models with no recent
+        traffic fall back to ``serving_batch_window``.
+    serving_max_window:
+        Upper bound on the *learned* adaptive coalescing window, so a
+        sparse arrival history can never hold requests open for long.
+        Explicitly configured windows (the service default and
+        per-model policies) are honored verbatim.
     """
 
     tile_size: int = 250
@@ -121,6 +137,9 @@ class Config:
     serving_max_batch: int = 64
     serving_queue_size: int = 256
     serving_max_models: int = 8
+    serving_workers: int = 2
+    serving_adaptive_window: bool = False
+    serving_max_window: float = 0.05
 
     def __post_init__(self) -> None:
         self.validate()
@@ -171,6 +190,14 @@ class Config:
         if self.serving_max_models < 1:
             raise ConfigurationError(
                 f"serving_max_models must be >= 1, got {self.serving_max_models}"
+            )
+        if self.serving_workers < 1:
+            raise ConfigurationError(
+                f"serving_workers must be >= 1, got {self.serving_workers}"
+            )
+        if self.serving_max_window < 0:
+            raise ConfigurationError(
+                f"serving_max_window must be >= 0, got {self.serving_max_window}"
             )
 
     def resolved_workers(self) -> int:

@@ -80,3 +80,14 @@ class DeadlineExceededError(ServingError):
 
 class ServiceClosedError(ServingError):
     """The prediction service is not running (not started, or stopped)."""
+
+
+class ServerError(ServingError):
+    """The serving transport failed (worker crash, protocol error, timeout).
+
+    Raised by the HTTP front-end and client when a request could not be
+    answered by a worker at all — as opposed to the typed per-request
+    failures (:class:`ModelNotFoundError`, :class:`ServiceOverloadedError`,
+    ...) which a worker produced deliberately and which cross the wire
+    unchanged.
+    """

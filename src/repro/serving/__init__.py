@@ -18,10 +18,16 @@ PredictionEngine` — fast but trapped inside the process that ran
   micro-batcher that coalesces concurrent predict requests for one
   model into single stacked-target / multi-RHS engine calls, with
   backpressure and per-request deadlines;
-* :mod:`repro.serving.metrics` — :class:`ServiceMetrics`, the counter
-  and latency surface the benchmarks report from.
+* :mod:`repro.serving.metrics` — :class:`ServiceMetrics`, the counter,
+  latency, and arrival-rate surface the benchmarks report from;
+* :mod:`repro.serving.server` — :class:`ServingServer`, an HTTP
+  front-end that spawns worker *processes* (each hosting a registry +
+  service), shards model ids onto them with the registry's stable
+  hash, and exposes predict / metrics / hot-reload endpoints;
+* :mod:`repro.serving.client` — :class:`ServingClient`, the matching
+  stdlib HTTP client with typed error mapping.
 
-Fit → save → serve:
+Fit → save → serve (in process):
 
 >>> est = MLEstimator(locs, z, variant="tlr")          # doctest: +SKIP
 >>> fit = est.fit()                                    # doctest: +SKIP
@@ -29,18 +35,30 @@ Fit → save → serve:
 >>> registry = ModelRegistry().register("soil", "fits/soil.bundle")  # doctest: +SKIP
 >>> async with PredictionService(registry) as svc:     # doctest: +SKIP
 ...     pred = await svc.predict("soil", targets)
+
+Over HTTP, across worker processes:
+
+>>> with ServingServer({"soil": "fits/soil.bundle"}) as server:  # doctest: +SKIP
+...     client = ServingClient(server.url)
+...     pred = client.predict("soil", targets)         # bit-identical
+...     client.reload("soil")                          # hot-swap the bundle
 """
 
+from .client import ServingClient
 from .metrics import ServiceMetrics
 from .registry import ModelRegistry
-from .service import PredictionService
+from .server import ServingServer
+from .service import BatchPolicy, PredictionService
 from .store import ModelBundle, bundle_from_fit, load_model, save_model
 
 __all__ = [
+    "BatchPolicy",
     "ModelBundle",
     "ModelRegistry",
     "PredictionService",
     "ServiceMetrics",
+    "ServingClient",
+    "ServingServer",
     "bundle_from_fit",
     "load_model",
     "save_model",

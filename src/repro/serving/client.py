@@ -1,0 +1,209 @@
+"""HTTP client for :class:`~repro.serving.server.ServingServer`.
+
+A thin, dependency-free wrapper over :mod:`http.client` that speaks the
+server's JSON protocol and re-raises the server's typed errors
+(:class:`~repro.exceptions.ModelNotFoundError`,
+:class:`~repro.exceptions.ServiceOverloadedError`, ...) so remote and
+in-process callers handle failures identically.
+
+Each client holds one persistent keep-alive connection guarded by a
+lock, so a client instance is thread-safe but serializes its own
+requests — concurrent load generators should use one client per
+logical client (see ``benchmarks/bench_http_serving.py``). JSON float
+encoding round-trips every finite ``float64`` exactly, so
+:meth:`ServingClient.predict` is bit-identical to calling the worker's
+engine in process.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import urllib.parse
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..exceptions import ServerError
+from .server import exception_from_wire
+
+__all__ = ["ServingClient"]
+
+
+class ServingClient:
+    """Client for one serving endpoint.
+
+    Parameters
+    ----------
+    url:
+        Base URL (``http://host:port``), e.g. ``server.url``. A bare
+        ``host:port`` is accepted too.
+    timeout:
+        Socket timeout in seconds for each request.
+
+    Examples
+    --------
+    >>> with ServingServer({"m": path}) as server:        # doctest: +SKIP
+    ...     client = ServingClient(server.url)
+    ...     mean = client.predict("m", targets)
+    """
+
+    def __init__(self, url: str, *, timeout: float = 120.0) -> None:
+        if url.startswith("https://"):
+            raise ServerError("ServingClient speaks plain http only")
+        if not url.startswith("http://"):
+            url = f"http://{url}"
+        try:
+            # urlsplit handles trailing slashes, paths, and [::1]-style
+            # IPv6 hosts that naive ':' splitting gets wrong.
+            parts = urllib.parse.urlsplit(url)
+            self.host = parts.hostname or "127.0.0.1"
+            self.port = 80 if parts.port is None else int(parts.port)
+        except ValueError as exc:
+            raise ServerError(f"invalid serving URL {url!r}: {exc}") from exc
+        self.timeout = float(timeout)
+        self._lock = threading.Lock()
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------- transport
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if data is not None else {}
+        with self._lock:
+            for attempt in (0, 1):
+                reused = self._conn is not None
+                if self._conn is None:
+                    self._conn = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.timeout
+                    )
+                try:
+                    self._conn.request(method, path, body=data, headers=headers)
+                    response = self._conn.getresponse()
+                    raw = response.read()
+                    break
+                except (http.client.HTTPException, OSError) as exc:
+                    self.close_locked()
+                    # Retry exactly once, and only when an idle keep-alive
+                    # connection turned out to be dead — the server closed
+                    # it before this request could have been processed. A
+                    # timeout or a failure on a fresh connection is NOT
+                    # retried: the request may have executed (predicts
+                    # would run twice, reloads would double-swap).
+                    stale_keepalive = reused and isinstance(
+                        exc,
+                        (
+                            http.client.RemoteDisconnected,
+                            BrokenPipeError,
+                            ConnectionResetError,
+                        ),
+                    )
+                    if attempt or not stale_keepalive:
+                        raise ServerError(
+                            f"request to {self.host}:{self.port}{path} failed: {exc}"
+                        ) from exc
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServerError(f"malformed response from server: {exc}") from exc
+        if response.status >= 400:
+            error = payload.get("error", {}) if isinstance(payload, dict) else {}
+            raise exception_from_wire(
+                error.get("type", "ServerError"),
+                error.get("message", f"HTTP {response.status}"),
+            )
+        return payload
+
+    def close_locked(self) -> None:
+        """Drop the pooled connection (caller holds the lock)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            self._conn = None
+
+    def close(self) -> None:
+        """Close the pooled connection (safe to keep using the client)."""
+        with self._lock:
+            self.close_locked()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- API
+    def predict(
+        self,
+        model_id: str,
+        targets: np.ndarray,
+        *,
+        z: Optional[np.ndarray] = None,
+        deadline: Optional[float] = None,
+        priority: int = 0,
+    ) -> np.ndarray:
+        """Conditional mean at ``targets`` — the remote twin of
+        :meth:`~repro.serving.service.PredictionService.predict`."""
+        body = {
+            "model_id": model_id,
+            "targets": np.asarray(targets, dtype=np.float64).tolist(),
+        }
+        if z is not None:
+            body["z"] = np.asarray(z, dtype=np.float64).tolist()
+        if deadline is not None:
+            body["deadline"] = float(deadline)
+        if priority:
+            body["priority"] = int(priority)
+        payload = self._request("POST", "/v1/predict", body)
+        return np.asarray(payload["prediction"], dtype=np.float64)
+
+    def register(self, model_id: str, path: Union[str, "object"]) -> dict:
+        """Register a bundle path on the owning worker."""
+        return self._request(
+            "POST", f"/v1/models/{self._quote(model_id)}", {"path": str(path)}
+        )
+
+    def reload(self, model_id: str, path: Optional[Union[str, "object"]] = None) -> dict:
+        """Hot-swap ``model_id``'s bundle (default: re-read its registered path)."""
+        body = {} if path is None else {"path": str(path)}
+        return self._request("POST", f"/v1/models/{self._quote(model_id)}/reload", body)
+
+    def set_policy(
+        self,
+        model_id: str,
+        *,
+        batch_window: Optional[float] = None,
+        max_batch: Optional[int] = None,
+    ) -> dict:
+        """Install per-model batching knobs on the owning worker."""
+        body: dict = {}
+        if batch_window is not None:
+            body["batch_window"] = float(batch_window)
+        if max_batch is not None:
+            body["max_batch"] = int(max_batch)
+        return self._request(
+            "POST", f"/v1/models/{self._quote(model_id)}/policy", body
+        )
+
+    @staticmethod
+    def _quote(model_id: str) -> str:
+        """Percent-encode a model id for a URL path segment, so ids with
+        ``/`` or spaces address the same model they predict against."""
+        return urllib.parse.quote(str(model_id), safe="")
+
+    def models(self) -> Dict[str, List[str]]:
+        """Model ids known to each worker."""
+        return self._request("GET", "/v1/models")["models"]
+
+    def metrics(self) -> dict:
+        """Per-worker metrics and fleet aggregates."""
+        return self._request("GET", "/v1/metrics")
+
+    def health(self) -> dict:
+        """Router + worker liveness."""
+        return self._request("GET", "/healthz")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServingClient(http://{self.host}:{self.port})"

@@ -29,7 +29,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..config import get_config
-from ..exceptions import ModelNotFoundError
+from ..exceptions import ConfigurationError, ModelNotFoundError
 from ..mle.prediction_engine import PredictionEngine
 from ..runtime import Runtime
 from .store import ModelBundle, load_model
@@ -84,12 +84,21 @@ class ModelRegistry:
         compression_batch: Optional[int] = None,
     ) -> None:
         cfg = get_config()
+        # Nonsense knobs are rejected here, at construction, instead of
+        # being silently clamped or surfacing as a confusing failure on
+        # the first request.
+        if max_models is not None and int(max_models) < 1:
+            raise ConfigurationError(f"max_models must be >= 1, got {max_models}")
         self.max_models = (
-            cfg.serving_max_models if max_models is None else max(1, int(max_models))
+            cfg.serving_max_models if max_models is None else int(max_models)
         )
         if num_shards < 1:
-            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = int(num_shards)
+        if workers_per_shard is not None and int(workers_per_shard) < 1:
+            raise ConfigurationError(
+                f"workers_per_shard must be >= 1, got {workers_per_shard}"
+            )
         self.workers_per_shard = workers_per_shard
         self.cache_distances = (
             cfg.cache_distances if cache_distances is None else bool(cache_distances)
@@ -110,6 +119,7 @@ class ModelRegistry:
         self.n_loads = 0
         self.n_evictions = 0
         self.n_hits = 0
+        self.n_reloads = 0
 
     # ------------------------------------------------------------- register
     def register(self, model_id: str, path: Union[str, Path]) -> "ModelRegistry":
@@ -231,6 +241,90 @@ class ModelRegistry:
             evicted_id, _ = self._engines.popitem(last=False)
             self.n_evictions += 1
 
+    # -------------------------------------------------------------- reload
+    def reload(
+        self,
+        model_id: str,
+        *,
+        path: Optional[Union[str, Path]] = None,
+        bundle: Optional[ModelBundle] = None,
+    ) -> PredictionEngine:
+        """Atomically swap in a re-fitted bundle under a stable model id.
+
+        The replacement engine is built *before* the swap, off the
+        registry lock, so warm lookups of every model — including the
+        one being reloaded — keep succeeding on the old engine while
+        the new one loads. The swap itself is a dict update under the
+        lock: in-flight predicts holding the old engine finish on it,
+        every later :meth:`engine` call sees the new one.
+
+        Parameters
+        ----------
+        model_id:
+            The stable id clients keep using across the swap.
+        path:
+            New bundle directory to load from (also becomes the model's
+            registered path for future rehydrations). Default: re-read
+            the currently registered path — the re-fit overwrote the
+            bundle in place.
+        bundle:
+            An in-memory replacement bundle (mutually exclusive with
+            ``path``).
+
+        Raises
+        ------
+        ModelNotFoundError
+            ``model_id`` has no registered path or bundle to load from.
+        BundleError
+            The replacement bundle is missing or malformed (the old
+            engine stays installed and keeps serving).
+        """
+        if path is not None and bundle is not None:
+            raise ConfigurationError("pass either path or bundle to reload(), not both")
+        with self._lock:
+            self._check_open()
+            if bundle is not None:
+                src_bundle, src_path = bundle, None
+            elif path is not None:
+                src_bundle, src_path = None, Path(path)
+            else:
+                src_bundle = self._bundles.get(model_id)
+                src_path = self._paths.get(model_id)
+            if src_bundle is None and src_path is None:
+                raise ModelNotFoundError(
+                    f"model {model_id!r} has no bundle or path to reload from"
+                )
+            load_lock = self._load_locks.setdefault(model_id, threading.Lock())
+        with load_lock:
+            with self._lock:
+                self._check_open()
+                runtime = self._shard_runtime(model_id)
+            if src_bundle is None:
+                src_bundle = load_model(src_path)
+            engine = src_bundle.build_engine(
+                runtime=runtime,
+                cache_distances=self.cache_distances,
+                parallel_generation=self.parallel_generation,
+                compression_batch=self.compression_batch,
+            )
+            with self._lock:
+                self._check_open()
+                # Commit only now: a load/build failure above leaves the
+                # previous registration — and the warm engine — intact,
+                # so the model keeps serving and rehydrating from the
+                # last good bundle.
+                if bundle is not None:
+                    self._bundles[model_id] = bundle
+                    self._paths.pop(model_id, None)
+                elif path is not None:
+                    self._paths[model_id] = Path(path)
+                    self._bundles.pop(model_id, None)
+                self._engines[model_id] = engine
+                self._engines.move_to_end(model_id)
+                self.n_reloads += 1
+                self._evict_over_budget()
+                return engine
+
     # ------------------------------------------------------------ lifecycle
     def evict(self, model_id: str) -> bool:
         """Drop ``model_id``'s warm engine (if any); returns True if dropped."""
@@ -287,6 +381,7 @@ class ModelRegistry:
                 "n_loads": self.n_loads,
                 "n_hits": self.n_hits,
                 "n_evictions": self.n_evictions,
+                "n_reloads": self.n_reloads,
                 "loaded": list(self._engines),
                 "known": self.known_models,
                 "shards": {

@@ -1,0 +1,754 @@
+"""Multi-process HTTP serving: worker processes behind a sharding router.
+
+The PR-3 serving stack — :class:`~repro.serving.store.ModelBundle`,
+:class:`~repro.serving.registry.ModelRegistry`,
+:class:`~repro.serving.service.PredictionService` — lives inside one
+process. This module scales it out with nothing but the standard
+library:
+
+* :class:`ServingServer` spawns ``num_workers`` processes via
+  :mod:`multiprocessing`. Each worker hosts its own registry + asyncio
+  micro-batching service and owns the models whose stable hash
+  (:func:`~repro.serving.registry._stable_shard` — the same function
+  the registry uses for runtime shards) lands on its index, so a model
+  id maps to the same worker across restarts and across the fleet.
+* An HTTP front-end (stdlib :class:`~http.server.ThreadingHTTPServer`)
+  routes requests to the owning worker over a :class:`multiprocessing
+  .connection.Connection` pipe. Arrays cross the pipe pickled — bit
+  exact — and cross HTTP as JSON, whose ``repr``-based float encoding
+  round-trips every finite ``float64`` exactly, so served predictions
+  are **bit-identical** to in-process
+  :meth:`~repro.mle.prediction_engine.PredictionEngine.predict`.
+* **Hot-reload**: ``POST /v1/models/<id>/reload`` calls
+  :meth:`ModelRegistry.reload` inside the owning worker — the
+  replacement engine is built off-lock and swapped atomically, so
+  in-flight requests finish on the old engine and later requests see
+  the new one, with zero failed requests across the swap.
+
+Endpoints
+---------
+``POST /v1/predict``
+    ``{"model_id", "targets", "z"?, "deadline"?, "priority"?}`` →
+    ``{"model_id", "prediction", "worker"}``.
+``GET /healthz``
+    Liveness of the router and every worker process.
+``GET /v1/models``
+    Model ids known to each worker.
+``GET /v1/metrics``
+    Per-worker service metrics + registry stats, plus fleet aggregates.
+``POST /v1/models/<id>``
+    Register a bundle path on the owning worker: ``{"path"}``.
+``POST /v1/models/<id>/reload``
+    Hot-swap the model's bundle: ``{"path"?}`` (default: re-read the
+    registered path).
+``POST /v1/models/<id>/policy``
+    Per-model batching knobs: ``{"batch_window"?, "max_batch"?}``.
+
+Error responses are ``{"error": {"type", "message"}}`` with a status
+code per exception type; :class:`~repro.serving.client.ServingClient`
+re-raises the matching typed exception.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import os
+import threading
+import urllib.parse
+from functools import partial
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..config import get_config
+from ..exceptions import (
+    BundleError,
+    ConfigurationError,
+    DeadlineExceededError,
+    ModelNotFoundError,
+    ReproError,
+    ServerError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServingError,
+    ShapeError,
+)
+from .registry import ModelRegistry, _stable_shard
+from .service import PredictionService
+
+__all__ = ["ServingServer", "status_for_exception", "exception_from_wire"]
+
+#: Exceptions allowed to cross the worker pipe / HTTP boundary by name.
+_WIRE_EXCEPTIONS: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        BundleError,
+        ConfigurationError,
+        DeadlineExceededError,
+        ModelNotFoundError,
+        ReproError,
+        ServerError,
+        ServiceClosedError,
+        ServiceOverloadedError,
+        ServingError,
+        ShapeError,
+        ValueError,
+        TypeError,
+        KeyError,
+    )
+}
+
+_STATUS_BY_EXCEPTION: Tuple[Tuple[type, int], ...] = (
+    (ModelNotFoundError, 404),
+    (ServiceOverloadedError, 429),
+    (DeadlineExceededError, 504),
+    (ServiceClosedError, 503),
+    (BundleError, 400),
+    (ConfigurationError, 400),
+    (ShapeError, 400),
+    (ServerError, 502),
+    (ValueError, 400),
+    (TypeError, 400),
+    (KeyError, 400),
+)
+
+_READY = -1  # sentinel request id for the worker's startup handshake
+
+
+def status_for_exception(exc: BaseException) -> int:
+    """HTTP status code a failure maps to (500 for anything unknown)."""
+    for cls, status in _STATUS_BY_EXCEPTION:
+        if isinstance(exc, cls):
+            return status
+    return 500
+
+
+def exception_from_wire(type_name: str, message: str) -> BaseException:
+    """Rebuild a typed exception from its wire form (whitelisted names).
+
+    Unknown names come back as :class:`ServerError` so a worker can
+    never make the router raise an arbitrary class.
+    """
+    cls = _WIRE_EXCEPTIONS.get(type_name)
+    if cls is None:
+        return ServerError(f"{type_name}: {message}")
+    return cls(message)
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(conn, config: dict) -> None:
+    """Entry point of one worker process: registry + service + pipe loop."""
+    import asyncio
+
+    async def run() -> None:
+        registry = ModelRegistry(**config.get("registry", {}))
+        for model_id, path in config.get("models", {}).items():
+            registry.register(model_id, path)
+        loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        send_lock = threading.Lock()
+
+        def send(msg: tuple) -> None:
+            with send_lock:
+                try:
+                    conn.send(msg)
+                except (BrokenPipeError, OSError):  # router is gone; shut down
+                    loop.call_soon_threadsafe(stop_event.set)
+
+        async with PredictionService(registry, **config.get("service", {})) as service:
+
+            async def handle(op: str, req_id: int, payload: dict) -> None:
+                try:
+                    result = await dispatch(op, payload)
+                except asyncio.CancelledError:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - forwarded to router
+                    send((req_id, "err", (type(exc).__name__, str(exc))))
+                else:
+                    send((req_id, "ok", result))
+
+            async def dispatch(op: str, payload: dict) -> Any:
+                if op == "predict":
+                    return await service.predict(
+                        payload["model_id"],
+                        payload["targets"],
+                        z=payload.get("z"),
+                        deadline=payload.get("deadline"),
+                        priority=payload.get("priority", 0),
+                    )
+                if op == "reload":
+                    # Blocking work (disk read + engine build + possible
+                    # factorization) stays off the event loop so predicts
+                    # keep flowing — the whole point of hot-reload.
+                    await loop.run_in_executor(
+                        None,
+                        partial(
+                            registry.reload, payload["model_id"], path=payload.get("path")
+                        ),
+                    )
+                    return {"model_id": payload["model_id"], "reloads": registry.n_reloads}
+                if op == "register":
+                    registry.register(payload["model_id"], payload["path"])
+                    return {"model_id": payload["model_id"]}
+                if op == "policy":
+                    service.set_policy(
+                        payload["model_id"],
+                        batch_window=payload.get("batch_window"),
+                        max_batch=payload.get("max_batch"),
+                    )
+                    window, max_batch = service.effective_policy(payload["model_id"])
+                    return {"batch_window": window, "max_batch": max_batch}
+                if op == "models":
+                    return registry.known_models
+                if op == "metrics":
+                    return {
+                        "service": service.metrics.snapshot(),
+                        "registry": registry.stats(),
+                    }
+                if op == "ping":
+                    return "pong"
+                raise ServerError(f"unknown worker op {op!r}")
+
+            def reader() -> None:
+                while True:
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        msg = ("stop", 0, None)
+                    if msg[0] == "stop":
+                        loop.call_soon_threadsafe(stop_event.set)
+                        return
+                    op, req_id, payload = msg
+                    asyncio.run_coroutine_threadsafe(handle(op, req_id, payload), loop)
+
+            send((_READY, "ok", config.get("worker_id", 0)))
+            reader_thread = threading.Thread(
+                target=reader, name="repro-worker-reader", daemon=True
+            )
+            reader_thread.start()
+            await stop_event.wait()
+        registry.close()
+
+    asyncio.run(run())
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover - best effort
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Router side
+# ---------------------------------------------------------------------------
+
+
+class _Slot:
+    """One in-flight router→worker request awaiting its response."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class _WorkerHandle:
+    """Router-side proxy for one worker process.
+
+    HTTP handler threads multiplex over the single pipe: sends are
+    serialized by a lock and tagged with a request id; a dedicated
+    reader thread matches responses back to the waiting thread's slot.
+    Concurrent requests therefore overlap inside the worker — which is
+    what lets its micro-batcher coalesce them.
+    """
+
+    def __init__(self, ctx, worker_id: int, config: dict) -> None:
+        self.worker_id = worker_id
+        parent_conn, child_conn = ctx.Pipe()
+        config = dict(config, worker_id=worker_id)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, config),
+            name=f"repro-serving-worker-{worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self._conn = parent_conn
+        self._send_lock = threading.Lock()
+        self._pending: Dict[int, _Slot] = {}
+        self._pending_lock = threading.Lock()
+        self._ids = itertools.count()
+        self._dead = False
+        self.last_metrics: Optional[dict] = None  # retained if the worker dies
+        self.ready = threading.Event()
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"repro-router-reader-{worker_id}", daemon=True
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------- requests
+    def request(self, op: str, payload: Optional[dict] = None, timeout: float = 120.0):
+        """Send one op to the worker and block for its typed response."""
+        if self._dead:
+            raise ServerError(f"worker {self.worker_id} is not running")
+        req_id = next(self._ids)
+        slot = _Slot()
+        with self._pending_lock:
+            self._pending[req_id] = slot
+        try:
+            with self._send_lock:
+                self._conn.send((op, req_id, payload or {}))
+        except (BrokenPipeError, OSError) as exc:
+            with self._pending_lock:
+                self._pending.pop(req_id, None)
+            raise ServerError(f"worker {self.worker_id} pipe is closed") from exc
+        if not slot.event.wait(timeout):
+            with self._pending_lock:
+                self._pending.pop(req_id, None)
+            raise ServerError(
+                f"worker {self.worker_id} did not answer {op!r} within {timeout}s"
+            )
+        if slot.error is not None:
+            raise slot.error
+        return slot.result
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                msg = self._conn.recv()
+            except (EOFError, OSError):
+                self._dead = True
+                self._fail_all(ServerError(f"worker {self.worker_id} terminated"))
+                # Wake anyone blocked on the startup handshake — start()
+                # re-checks `alive` and reports the crash immediately
+                # instead of sitting out its full ready timeout.
+                self.ready.set()
+                return
+            req_id, status, payload = msg
+            if req_id == _READY:
+                self.ready.set()
+                continue
+            with self._pending_lock:
+                slot = self._pending.pop(req_id, None)
+            if slot is None:  # timed out meanwhile; drop the late answer
+                continue
+            if status == "ok":
+                slot.result = payload
+            else:
+                slot.error = exception_from_wire(*payload)
+            slot.event.set()
+
+    def _fail_all(self, exc: BaseException) -> None:
+        with self._pending_lock:
+            pending, self._pending = dict(self._pending), {}
+        for slot in pending.values():
+            slot.error = exc
+            slot.event.set()
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def alive(self) -> bool:
+        return not self._dead and self.process.is_alive()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful stop; escalate to terminate if the worker hangs."""
+        try:
+            with self._send_lock:
+                self._conn.send(("stop", 0, None))
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(5.0)
+        self._dead = True
+        self._fail_all(ServerError(f"worker {self.worker_id} stopped"))
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to worker pipes. One instance per request."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serving"
+
+    # The ThreadingHTTPServer subclass below carries the owning
+    # ServingServer as `owner`.
+
+    def log_message(self, fmt: str, *args: object) -> None:  # noqa: D102 - quiet
+        pass
+
+    # ---------------------------------------------------------------- plumbing
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    def _reply(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _reply_error(self, exc: BaseException) -> None:
+        self._reply(
+            status_for_exception(exc),
+            {"error": {"type": type(exc).__name__, "message": str(exc)}},
+        )
+
+    def _reply_no_route(self) -> None:
+        # 404, but as ServerError: a routing mistake must not look like a
+        # missing *model* to clients that react to ModelNotFoundError.
+        self._reply(
+            404,
+            {"error": {"type": "ServerError", "message": f"no route {self.path!r}"}},
+        )
+
+    # ------------------------------------------------------------------ routes
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        server: "ServingServer" = self.server.owner  # type: ignore[attr-defined]
+        try:
+            if self.path == "/healthz":
+                self._reply(200, server.health())
+            elif self.path == "/v1/models":
+                self._reply(200, {"models": server.models()})
+            elif self.path == "/v1/metrics":
+                self._reply(200, server.metrics())
+            else:
+                self._reply_no_route()
+        except ConnectionError:  # client went away mid-reply: drop quietly
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported to the client
+            self._reply_error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        server: "ServingServer" = self.server.owner  # type: ignore[attr-defined]
+        try:
+            body = self._body()
+            if self.path == "/v1/predict":
+                self._reply(200, server.predict_request(body))
+                return
+            # Split on raw '/', then decode each segment: a model id with
+            # an encoded '/' (%2F) stays one segment and routes correctly.
+            parts = [urllib.parse.unquote(p) for p in self.path.split("/") if p]
+            if len(parts) >= 2 and parts[0] == "v1" and parts[1] == "models":
+                if len(parts) == 3:
+                    self._reply(200, server.register_request(parts[2], body))
+                    return
+                if len(parts) == 4 and parts[3] == "reload":
+                    self._reply(200, server.reload_request(parts[2], body))
+                    return
+                if len(parts) == 4 and parts[3] == "policy":
+                    self._reply(200, server.policy_request(parts[2], body))
+                    return
+            self._reply_no_route()
+        except ConnectionError:  # client went away mid-reply: drop quietly
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported to the client
+            self._reply_error(exc)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, owner: "ServingServer") -> None:
+        self.owner = owner
+        super().__init__(address, handler)
+
+
+class ServingServer:
+    """HTTP front-end over ``num_workers`` model-serving processes.
+
+    Parameters
+    ----------
+    models:
+        ``{model_id: bundle_path}`` registered on the owning worker of
+        each id before startup. More models can be registered later via
+        :meth:`register_request` / ``POST /v1/models/<id>``.
+    num_workers:
+        Worker processes (default: configured ``serving_workers``).
+        Model ids are sharded onto workers by the same stable hash the
+        registry uses, so placement is reproducible everywhere.
+    host, port:
+        Bind address. ``port=0`` picks a free ephemeral port (read it
+        back from :attr:`port` / :attr:`url` after :meth:`start`).
+    registry_options, service_options:
+        Keyword dicts forwarded to each worker's :class:`ModelRegistry`
+        and :class:`PredictionService` — batching windows, LRU budget,
+        adaptive-window mode, shard runtimes, ... Validated here, at
+        construction, by building throwaway instances, so a typo or a
+        nonsense knob (``serving_max_batch=0``) fails in the parent
+        process instead of crashing workers at first request.
+    start_method:
+        :mod:`multiprocessing` start method (default: ``fork`` where
+        available, else ``spawn``).
+    request_timeout:
+        Seconds the router waits for a worker's answer before failing
+        the HTTP request with :class:`ServerError`.
+
+    Examples
+    --------
+    >>> with ServingServer({"soil": "fits/soil.bundle"}) as server:  # doctest: +SKIP
+    ...     client = ServingClient(server.url)
+    ...     client.predict("soil", targets)
+    """
+
+    def __init__(
+        self,
+        models: Optional[Dict[str, Union[str, Path]]] = None,
+        *,
+        num_workers: Optional[int] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry_options: Optional[dict] = None,
+        service_options: Optional[dict] = None,
+        start_method: Optional[str] = None,
+        request_timeout: float = 120.0,
+    ) -> None:
+        cfg = get_config()
+        self.num_workers = cfg.serving_workers if num_workers is None else int(num_workers)
+        if self.num_workers < 1:
+            raise ConfigurationError(f"num_workers must be >= 1, got {self.num_workers}")
+        if request_timeout <= 0:
+            raise ConfigurationError(
+                f"request_timeout must be > 0, got {request_timeout}"
+            )
+        self.host = host
+        self._requested_port = int(port)
+        self.request_timeout = float(request_timeout)
+        self.registry_options = dict(registry_options or {})
+        self.service_options = dict(service_options or {})
+        # Fail fast on bad options: both constructors validate their
+        # knobs, and a worker is the wrong place to discover a typo.
+        with ModelRegistry(**self.registry_options) as probe:
+            PredictionService(probe, **self.service_options)
+        self._models = {str(mid): str(Path(p)) for mid, p in (models or {}).items()}
+        if start_method is None:
+            start_method = os.environ.get("REPRO_SERVING_START_METHOD")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._workers: List[_WorkerHandle] = []
+        self._http: Optional[_Server] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._started = False
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self, *, ready_timeout: float = 60.0) -> "ServingServer":
+        """Spawn workers, wait for their handshakes, and bind the HTTP port."""
+        if self._started:
+            return self
+        for worker_id in range(self.num_workers):
+            models = {
+                mid: path
+                for mid, path in self._models.items()
+                if self.worker_for(mid) == worker_id
+            }
+            config = {
+                "models": models,
+                "registry": self.registry_options,
+                "service": self.service_options,
+            }
+            self._workers.append(_WorkerHandle(self._ctx, worker_id, config))
+        for handle in self._workers:
+            ready = handle.ready.wait(ready_timeout)
+            if not ready or not handle.alive:
+                worker_id = handle.worker_id
+                self.stop()
+                raise ServerError(
+                    f"worker {worker_id} "
+                    + ("died during startup" if ready else
+                       f"failed to start within {ready_timeout}s")
+                )
+        self._http = _Server((self.host, self._requested_port), _Handler, self)
+        self._http_thread = threading.Thread(
+            target=self._http.serve_forever, name="repro-serving-http", daemon=True
+        )
+        self._http_thread.start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Stop the HTTP listener, then every worker process (idempotent)."""
+        if self._http is not None:
+            self._http.shutdown()
+            self._http.server_close()
+            self._http = None
+        if self._http_thread is not None:
+            self._http_thread.join(10.0)
+            self._http_thread = None
+        workers, self._workers = self._workers, []
+        for handle in workers:
+            handle.stop()
+        self._started = False
+
+    def __enter__(self) -> "ServingServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # --------------------------------------------------------------- routing
+    def worker_for(self, model_id: str) -> int:
+        """The worker index owning ``model_id`` (stable hash sharding)."""
+        return _stable_shard(model_id, self.num_workers)
+
+    def _handle(self, model_id: str) -> _WorkerHandle:
+        if not self._started:
+            raise ServiceClosedError("server is not running (use start() or 'with')")
+        return self._workers[self.worker_for(model_id)]
+
+    # ------------------------------------------------------------ operations
+    def predict_request(self, body: dict) -> dict:
+        """Route one predict body to its worker; arrays go over the pipe."""
+        try:
+            model_id = str(body["model_id"])
+            targets = np.asarray(body["targets"], dtype=np.float64)
+        except KeyError as exc:
+            raise ValueError(f"predict body is missing required key {exc}") from None
+        z = body.get("z")
+        payload = {
+            "model_id": model_id,
+            "targets": targets,
+            "z": None if z is None else np.asarray(z, dtype=np.float64),
+            "deadline": body.get("deadline"),
+            "priority": int(body.get("priority", 0)),
+        }
+        result = self._handle(model_id).request(
+            "predict", payload, timeout=self.request_timeout
+        )
+        return {
+            "model_id": model_id,
+            "prediction": np.asarray(result).tolist(),
+            "worker": self.worker_for(model_id),
+        }
+
+    def register_request(self, model_id: str, body: dict) -> dict:
+        try:
+            path = str(body["path"])
+        except KeyError as exc:
+            raise ValueError(f"register body is missing required key {exc}") from None
+        result = self._handle(model_id).request(
+            "register", {"model_id": model_id, "path": path}, timeout=self.request_timeout
+        )
+        # Commit to the router's map only after the worker accepted, so a
+        # failed registration never survives into the next start().
+        self._models[model_id] = path
+        result["worker"] = self.worker_for(model_id)
+        return result
+
+    def reload_request(self, model_id: str, body: dict) -> dict:
+        path = body.get("path")
+        result = self._handle(model_id).request(
+            "reload",
+            {"model_id": model_id, "path": path},
+            timeout=self.request_timeout,
+        )
+        # Same commit-on-success rule as the worker's registry: a failed
+        # reload keeps the last good path for future restarts.
+        if path is not None:
+            self._models[model_id] = str(path)
+        result["worker"] = self.worker_for(model_id)
+        return result
+
+    def policy_request(self, model_id: str, body: dict) -> dict:
+        result = self._handle(model_id).request(
+            "policy",
+            {
+                "model_id": model_id,
+                "batch_window": body.get("batch_window"),
+                "max_batch": body.get("max_batch"),
+            },
+            timeout=self.request_timeout,
+        )
+        result["worker"] = self.worker_for(model_id)
+        return result
+
+    def models(self) -> Dict[str, List[str]]:
+        """Model ids known to each live worker, keyed by worker index.
+
+        Dead workers are omitted here (the value type stays a plain id
+        list); ``/healthz`` is the surface that reports their absence.
+        """
+        out: Dict[str, List[str]] = {}
+        for handle in self._workers:
+            if handle.alive:
+                out[str(handle.worker_id)] = handle.request(
+                    "models", timeout=self.request_timeout
+                )
+        return out
+
+    def metrics(self) -> dict:
+        """Per-worker metrics + fleet-wide counter aggregates.
+
+        A dead worker is reported with ``"dead": true`` and its last
+        observed counters (if any), so aggregates stay monotonic across
+        a crash instead of silently shrinking between polls.
+        """
+        workers = {}
+        totals: Dict[str, int] = {}
+        for handle in self._workers:
+            if handle.alive:
+                snap = handle.request("metrics", timeout=self.request_timeout)
+                handle.last_metrics = snap
+            elif handle.last_metrics is not None:
+                snap = dict(handle.last_metrics, dead=True)
+            else:
+                workers[str(handle.worker_id)] = {"dead": True}
+                continue
+            workers[str(handle.worker_id)] = snap
+            for name, value in snap["service"]["counters"].items():
+                totals[name] = totals.get(name, 0) + int(value)
+        return {"workers": workers, "aggregate": {"counters": totals}}
+
+    def health(self) -> dict:
+        alive = [handle.alive for handle in self._workers]
+        return {
+            "status": "ok" if self._started and all(alive) else "degraded",
+            "workers": self.num_workers,
+            "alive": alive,
+        }
+
+    # -------------------------------------------------------------- plumbing
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._http is None:
+            return self._requested_port
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self._started else "stopped"
+        return (
+            f"ServingServer({state}, workers={self.num_workers}, "
+            f"models={len(self._models)}, url={self.url!r})"
+        )

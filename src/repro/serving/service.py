@@ -49,6 +49,7 @@ import numpy as np
 from ..config import get_config
 from ..linalg.generation import array_content_key
 from ..exceptions import (
+    ConfigurationError,
     DeadlineExceededError,
     ModelNotFoundError,
     ServiceClosedError,
@@ -58,13 +59,13 @@ from ..utils.validation import check_locations
 from .metrics import ServiceMetrics
 from .registry import ModelRegistry
 
-__all__ = ["PredictionService"]
+__all__ = ["BatchPolicy", "PredictionService"]
 
 
 class _Request:
     """One queued predict: payload, bookkeeping, and the answer future."""
 
-    __slots__ = ("targets", "z", "future", "t_submit", "deadline")
+    __slots__ = ("targets", "z", "future", "t_submit", "deadline", "priority")
 
     def __init__(
         self,
@@ -73,12 +74,41 @@ class _Request:
         future: "asyncio.Future[np.ndarray]",
         t_submit: float,
         deadline: Optional[float],
+        priority: int = 0,
     ) -> None:
         self.targets = targets
         self.z = z
         self.future = future
         self.t_submit = t_submit  # monotonic seconds
         self.deadline = deadline  # absolute monotonic seconds, or None
+        self.priority = priority  # > 0: urgent lane, never waits the window
+
+
+class BatchPolicy:
+    """Per-model batching knobs overriding the service-wide defaults.
+
+    ``None`` fields fall through to the service default (or, for the
+    window, to the learned adaptive value when that is enabled).
+    """
+
+    __slots__ = ("batch_window", "max_batch")
+
+    def __init__(
+        self,
+        batch_window: Optional[float] = None,
+        max_batch: Optional[int] = None,
+    ) -> None:
+        if batch_window is not None and float(batch_window) < 0:
+            raise ConfigurationError(
+                f"batch_window must be >= 0, got {batch_window}"
+            )
+        if max_batch is not None and int(max_batch) < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        self.batch_window = None if batch_window is None else float(batch_window)
+        self.max_batch = None if max_batch is None else int(max_batch)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchPolicy(batch_window={self.batch_window}, max_batch={self.max_batch})"
 
 
 class PredictionService:
@@ -107,6 +137,17 @@ class PredictionService:
         Coalesce same-target explicit-``z`` requests into one multi-RHS
         solve (equal to sequential solves to solver rounding). Disable
         for strict bitwise reproducibility of explicit-``z`` traffic.
+    adaptive_window:
+        Learn each model's coalescing window from its recent arrival
+        rate (default: configured ``serving_adaptive_window``): the
+        window approximates the time ``max_batch`` requests take to
+        arrive at the observed rate, capped at ``max_window``. Models
+        with no recent traffic use ``batch_window``. An explicit
+        per-model :class:`BatchPolicy` window always wins.
+    max_window:
+        Cap on the learned adaptive window (default: configured
+        ``serving_max_window``). Explicit windows — the service default
+        and per-model policies — are honored verbatim.
     metrics:
         A :class:`ServiceMetrics` to record into (default: fresh).
     executor:
@@ -129,23 +170,42 @@ class PredictionService:
         max_queue: Optional[int] = None,
         default_deadline: Optional[float] = None,
         rhs_batching: bool = True,
+        adaptive_window: Optional[bool] = None,
+        max_window: Optional[float] = None,
         metrics: Optional[ServiceMetrics] = None,
         executor: Optional[concurrent.futures.Executor] = None,
     ) -> None:
         cfg = get_config()
+        # Nonsense knobs fail here, at construction — not by silent
+        # clamping, and not as a confusing error on the first request.
+        if batch_window is not None and float(batch_window) < 0:
+            raise ConfigurationError(f"batch_window must be >= 0, got {batch_window}")
+        if max_batch is not None and int(max_batch) < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        if max_queue is not None and int(max_queue) < 1:
+            raise ConfigurationError(f"max_queue must be >= 1, got {max_queue}")
+        if default_deadline is not None and float(default_deadline) <= 0:
+            raise ConfigurationError(
+                f"default_deadline must be > 0 seconds, got {default_deadline}"
+            )
+        if max_window is not None and float(max_window) < 0:
+            raise ConfigurationError(f"max_window must be >= 0, got {max_window}")
         self.registry = registry
         self.batch_window = (
-            cfg.serving_batch_window if batch_window is None else max(0.0, float(batch_window))
+            cfg.serving_batch_window if batch_window is None else float(batch_window)
         )
-        self.max_batch = (
-            cfg.serving_max_batch if max_batch is None else max(1, int(max_batch))
-        )
-        self.max_queue = (
-            cfg.serving_queue_size if max_queue is None else max(1, int(max_queue))
-        )
+        self.max_batch = cfg.serving_max_batch if max_batch is None else int(max_batch)
+        self.max_queue = cfg.serving_queue_size if max_queue is None else int(max_queue)
         self.default_deadline = default_deadline
         self.rhs_batching = bool(rhs_batching)
+        self.adaptive_window = (
+            cfg.serving_adaptive_window if adaptive_window is None else bool(adaptive_window)
+        )
+        self.max_window = (
+            cfg.serving_max_window if max_window is None else float(max_window)
+        )
         self.metrics = metrics or ServiceMetrics()
+        self._policies: Dict[str, BatchPolicy] = {}
         self._executor = executor
         self._owns_executor = executor is None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -212,6 +272,7 @@ class PredictionService:
         *,
         z: Optional[np.ndarray] = None,
         deadline: Optional[float] = None,
+        priority: int = 0,
     ) -> np.ndarray:
         """Conditional mean at ``targets`` under model ``model_id``.
 
@@ -229,6 +290,11 @@ class PredictionService:
             ``default_deadline``); expired requests fail with
             :class:`DeadlineExceededError` instead of occupying an
             engine. Non-positive values are already expired.
+        priority:
+            ``> 0`` puts the request on the urgent lane: the round it
+            joins stops waiting out the coalescing window (it still
+            coalesces with whatever is already queued), and its group
+            dispatches before lower-priority groups of the same round.
 
         Raises
         ------
@@ -257,7 +323,9 @@ class PredictionService:
             self._loop.create_future(),
             now,
             None if limit is None else now + float(limit),
+            int(priority),
         )
+        self.metrics.record_arrival(model_id, now)
         queue = self._queue_for(model_id)
         try:
             queue.put_nowait(req)
@@ -268,6 +336,66 @@ class PredictionService:
             ) from None
         self.metrics.inc("requests")
         return await req.future
+
+    # --------------------------------------------------------------- policy
+    def set_policy(
+        self,
+        model_id: str,
+        *,
+        batch_window: Optional[float] = None,
+        max_batch: Optional[int] = None,
+    ) -> "PredictionService":
+        """Install per-model batching knobs (validated immediately).
+
+        Omitted knobs keep their previously set per-model value (calls
+        *merge*, so two admin calls tuning one knob each compose), and
+        overrides take effect on the model's next dispatch round —
+        batchers re-resolve their policy every round. Use
+        :meth:`clear_policy` to drop a model back to the defaults.
+        """
+        previous = self._policies.get(model_id)
+        if previous is not None:
+            if batch_window is None:
+                batch_window = previous.batch_window
+            if max_batch is None:
+                max_batch = previous.max_batch
+        self._policies[model_id] = BatchPolicy(batch_window, max_batch)
+        return self
+
+    def clear_policy(self, model_id: str) -> None:
+        """Remove ``model_id``'s per-model policy (back to defaults)."""
+        self._policies.pop(model_id, None)
+
+    def effective_policy(self, model_id: str) -> Tuple[float, int]:
+        """The ``(batch_window, max_batch)`` the next round will use.
+
+        Resolution order for the window: explicit per-model policy,
+        then the learned arrival-rate window (when ``adaptive_window``),
+        then the service default. ``max_batch`` is per-model or default.
+        """
+        policy = self._policies.get(model_id)
+        max_batch = self.max_batch
+        if policy is not None and policy.max_batch is not None:
+            max_batch = policy.max_batch
+        if policy is not None and policy.batch_window is not None:
+            # Explicit operator choices are honored verbatim, exactly
+            # like the service-wide default; max_window caps only the
+            # *learned* window.
+            return policy.batch_window, max_batch
+        if self.adaptive_window:
+            return self._learned_window(model_id, max_batch), max_batch
+        return self.batch_window, max_batch
+
+    def _learned_window(self, model_id: str, max_batch: int) -> float:
+        """Window sized to the time ``max_batch`` arrivals take at the
+        model's recent rate: hot models close their batches about when
+        they fill; quiet models (no rate estimate) fall back to the
+        default window exactly as documented — the same value the
+        non-adaptive path would use, uncapped."""
+        rate = self.metrics.arrival_rate(model_id)
+        if rate is None or rate <= 0.0:
+            return self.batch_window
+        return min(self.max_window, (max_batch - 1) / rate)
 
     # ------------------------------------------------------------- batching
     def _queue_for(self, model_id: str) -> "asyncio.Queue[_Request]":
@@ -288,9 +416,10 @@ class PredictionService:
         try:
             while True:
                 batch = [await queue.get()]
-                window_open = self.batch_window > 0.0 and self.max_batch > 1
-                t_close = self._loop.time() + self.batch_window
-                while len(batch) < self.max_batch:
+                window, max_batch = self.effective_policy(model_id)
+                window_open = window > 0.0 and max_batch > 1
+                t_close = self._loop.time() + window
+                while len(batch) < max_batch:
                     # Drain the backlog synchronously first: under
                     # sustained load the batch fills from already-queued
                     # requests without paying a timer/task per item, and
@@ -300,7 +429,10 @@ class PredictionService:
                         continue
                     except asyncio.QueueEmpty:
                         pass
-                    if not window_open:
+                    # Urgent lane: a priority request closes the window —
+                    # it coalesces with the backlog already drained but
+                    # never waits for stragglers.
+                    if not window_open or any(r.priority > 0 for r in batch):
                         break
                     remaining = t_close - self._loop.time()
                     if remaining <= 0.0:
@@ -335,7 +467,11 @@ class PredictionService:
             raise
 
     def _plan(self, live: List[_Request]) -> List[Tuple[str, List[_Request]]]:
-        """Group a round's requests into the fewest engine calls."""
+        """Group a round's requests into the fewest engine calls.
+
+        Groups come back highest-priority first, so an urgent request's
+        engine call runs before the round's bulk traffic.
+        """
         groups: List[Tuple[str, List[_Request]]] = []
         shared = [r for r in live if r.z is None]
         if len(shared) == 1:
@@ -354,6 +490,7 @@ class PredictionService:
                 groups.append(("rhs", group) if len(group) > 1 else ("single", group))
         else:
             groups.extend(("single", [req]) for req in solo)
+        groups.sort(key=lambda g: max(r.priority for r in g[1]), reverse=True)
         return groups
 
     async def _dispatch(self, model_id: str, kind: str, group: List[_Request]) -> None:

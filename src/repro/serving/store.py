@@ -71,19 +71,25 @@ def _model_to_spec(model: CovarianceModel) -> dict:
 
 
 def _model_from_spec(spec: dict) -> CovarianceModel:
+    if not isinstance(spec, dict):
+        raise BundleError(f"model spec must be an object, got {type(spec).__name__}")
     family = spec.get("family")
     cls = KERNEL_FAMILIES.get(family)
     if cls is None:
         raise BundleError(
             f"unknown covariance family {family!r}; known: {sorted(KERNEL_FAMILIES)}"
         )
-    model = cls(metric=spec["metric"], nugget=spec["nugget"])
+    try:
+        model = cls(metric=spec["metric"], nugget=spec["nugget"])
+        theta = spec["theta"]
+    except KeyError as exc:
+        raise BundleError(f"model spec is missing required key {exc}") from exc
     if list(model.param_names) != list(spec.get("param_names", model.param_names)):
         raise BundleError(
             f"bundle parameter names {spec.get('param_names')} do not match "
             f"{family}'s {list(model.param_names)}"
         )
-    return model.with_theta(spec["theta"])
+    return model.with_theta(theta)
 
 
 @dataclass
@@ -206,29 +212,50 @@ class ModelBundle:
             raise BundleError(
                 f"{path} is not a model bundle (missing {META_NAME} or {ARRAYS_NAME})"
             )
-        with meta_path.open() as fh:
-            meta = json.load(fh)
+        try:
+            with meta_path.open() as fh:
+                meta = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise BundleError(f"{meta_path} is not valid JSON: {exc}") from exc
+        if not isinstance(meta, dict):
+            raise BundleError(
+                f"{meta_path} must hold a JSON object, got {type(meta).__name__}"
+            )
         version = meta.get("format_version")
         if version != FORMAT_VERSION:
             raise BundleError(
                 f"bundle format version {version!r} unsupported "
                 f"(this build reads version {FORMAT_VERSION})"
             )
+        missing = [key for key in ("model", "substrate", "n") if key not in meta]
+        if missing:
+            raise BundleError(
+                f"bundle at {path} is malformed: meta.json is missing {missing}"
+            )
         with np.load(arrays_path) as npz:
             arrays = {k: npz[k] for k in npz.files}
-        sub = meta["substrate"]
-        bundle = cls(
-            model=_model_from_spec(meta["model"]),
-            locations=arrays["locations"],
-            z=arrays.get("z"),
-            variant=sub["variant"],
-            acc=sub["acc"],
-            tile_size=sub["tile_size"],
-            compression_method=sub["compression_method"],
-            truncation=sub["truncation"],
-            info=dict(meta.get("info", {})),
-        )
-        bundle.factor = cls._unpack_factor(meta, arrays, bundle)
+        try:
+            sub = meta["substrate"]
+            if not isinstance(sub, dict):
+                raise BundleError(
+                    f"substrate section must be an object, got {type(sub).__name__}"
+                )
+            bundle = cls(
+                model=_model_from_spec(meta["model"]),
+                locations=arrays["locations"],
+                z=arrays.get("z"),
+                variant=sub["variant"],
+                acc=sub["acc"],
+                tile_size=sub["tile_size"],
+                compression_method=sub["compression_method"],
+                truncation=sub["truncation"],
+                info=dict(meta.get("info", {})),
+            )
+            bundle.factor = cls._unpack_factor(meta, arrays, bundle)
+        except KeyError as exc:
+            raise BundleError(
+                f"bundle at {path} is malformed: missing required key {exc}"
+            ) from exc
         blocks = {
             tuple(int(p) for p in name.split("_")[1:]): arr
             for name, arr in arrays.items()

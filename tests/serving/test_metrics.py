@@ -1,0 +1,156 @@
+"""ServiceMetrics regressions (empty latency window, arrival rates) and
+construction-time validation of serving knobs across the stack."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.config import Config
+from repro.exceptions import ConfigurationError
+from repro.serving import ModelRegistry, PredictionService, ServiceMetrics
+from repro.serving.service import BatchPolicy
+
+
+# --------------------------------------------------------------------------
+# Empty-window latency regression.
+# --------------------------------------------------------------------------
+
+
+def test_percentiles_on_empty_window_are_zero_not_an_error():
+    """Regression: a fresh (or freshly reset) metrics object must answer
+    every percentile query with 0.0 — readers poll /v1/metrics before
+    the first request completes."""
+    metrics = ServiceMetrics()
+    for p in (0.0, 50.0, 95.0, 100.0):
+        assert metrics.percentile(p) == 0.0
+    metrics.observe_latency(0.25)
+    assert metrics.percentile(50.0) == 0.25
+    metrics.reset()
+    assert metrics.percentile(95.0) == 0.0
+
+
+def test_snapshot_always_carries_latency_keys():
+    """Regression: the latency block must carry count/mean/p50/p95/max
+    even with zero samples, so snapshot consumers (benchmark writers,
+    the HTTP /v1/metrics endpoint) never KeyError on a quiet service."""
+    snap = ServiceMetrics().snapshot()
+    latency = snap["latency_seconds"]
+    assert latency == {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    metrics = ServiceMetrics()
+    for v in (0.1, 0.2, 0.3):
+        metrics.observe_latency(v)
+    latency = metrics.snapshot()["latency_seconds"]
+    assert latency["count"] == 3
+    assert latency["max"] == 0.3
+    assert latency["p50"] == 0.2
+    assert latency["mean"] == pytest.approx(0.2)
+
+
+def test_percentile_rejects_out_of_range():
+    metrics = ServiceMetrics()
+    with pytest.raises(ValueError):
+        metrics.percentile(-1.0)
+    with pytest.raises(ValueError):
+        metrics.percentile(101.0)
+
+
+# --------------------------------------------------------------------------
+# Arrival-rate window (feeds the adaptive batching policy).
+# --------------------------------------------------------------------------
+
+
+def test_arrival_rate_needs_two_samples_and_goes_stale():
+    metrics = ServiceMetrics()
+    now = time.monotonic()
+    assert metrics.arrival_rate("m", t=now) is None
+    metrics.record_arrival("m", now - 1.0)
+    assert metrics.arrival_rate("m", t=now) is None  # one sample: no rate
+    metrics.record_arrival("m", now - 0.5)
+    assert metrics.arrival_rate("m", t=now) == pytest.approx(2.0)  # 1 gap / 0.5 s
+    # A model that went quiet must not keep reporting its old rate.
+    assert metrics.arrival_rate("m", t=now + 1000.0) is None
+
+
+def test_arrival_rate_estimates_requests_per_second():
+    metrics = ServiceMetrics()
+    base = time.monotonic()
+    for i in range(11):
+        metrics.record_arrival("hot", base + 0.01 * i)  # 100 req/s
+    rate = metrics.arrival_rate("hot", t=base + 0.1)
+    assert rate == pytest.approx(100.0, rel=1e-6)
+    snap = metrics.snapshot()
+    assert "hot" in snap["arrival_rates"]
+
+
+def test_metrics_constructor_validation():
+    with pytest.raises(ValueError):
+        ServiceMetrics(max_samples=0)
+    with pytest.raises(ValueError):
+        ServiceMetrics(max_arrivals=1)
+    with pytest.raises(ValueError):
+        ServiceMetrics(arrival_horizon=0.0)
+
+
+# --------------------------------------------------------------------------
+# Construction-time rejection of nonsensical serving knobs — config,
+# service, registry, and policy all fail at build time, not first request.
+# --------------------------------------------------------------------------
+
+
+def test_config_rejects_nonsense_serving_knobs():
+    with pytest.raises(ConfigurationError):
+        Config(serving_max_batch=0)
+    with pytest.raises(ConfigurationError):
+        Config(serving_batch_window=-0.001)
+    with pytest.raises(ConfigurationError):
+        Config(serving_queue_size=0)
+    with pytest.raises(ConfigurationError):
+        Config(serving_max_models=0)
+    with pytest.raises(ConfigurationError):
+        Config(serving_workers=0)
+    with pytest.raises(ConfigurationError):
+        Config(serving_max_window=-1.0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_batch": 0},
+        {"max_batch": -3},
+        {"batch_window": -0.5},
+        {"max_queue": 0},
+        {"default_deadline": 0.0},
+        {"default_deadline": -2.0},
+        {"max_window": -0.1},
+    ],
+)
+def test_service_rejects_nonsense_knobs_at_construction(kwargs):
+    """Regression: these used to be silently clamped (max_batch=0 served
+    as 1); now they fail loudly before any request can hit them."""
+    with ModelRegistry(max_models=2) as registry:
+        with pytest.raises(ConfigurationError):
+            PredictionService(registry, **kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_models": 0},
+        {"num_shards": 0},
+        {"workers_per_shard": 0},
+    ],
+)
+def test_registry_rejects_nonsense_knobs_at_construction(kwargs):
+    with pytest.raises(ConfigurationError):
+        ModelRegistry(**kwargs)
+
+
+def test_batch_policy_validation():
+    with pytest.raises(ConfigurationError):
+        BatchPolicy(batch_window=-0.01)
+    with pytest.raises(ConfigurationError):
+        BatchPolicy(max_batch=0)
+    policy = BatchPolicy(batch_window=0.0, max_batch=3)
+    assert policy.batch_window == 0.0 and policy.max_batch == 3

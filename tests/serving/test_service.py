@@ -350,6 +350,138 @@ def test_unknown_model_rejected_at_submission(problem):
         asyncio.run(main())
 
 
+# --------------------------------------------------------------------------
+# Priority lanes and per-model batching policies.
+# --------------------------------------------------------------------------
+
+
+class _RecordingEngine:
+    """Engine stub recording the order of coalesced calls."""
+
+    def __init__(self):
+        self.calls = []
+
+    def predict(self, targets, z=None):
+        self.calls.append(("single", None if z is None else z.shape))
+        return np.zeros(np.asarray(targets).shape[0])
+
+    def predict_many(self, target_sets, z=None):
+        self.calls.append(("stack", len(target_sets)))
+        return [np.zeros(np.asarray(t).shape[0]) for t in target_sets]
+
+
+def test_priority_request_closes_the_batch_window(problem):
+    """A priority request must not wait out a long coalescing window."""
+    registry = make_registry(problem)
+    targets = generate_irregular_grid(5, seed=2)
+
+    async def main():
+        async with PredictionService(registry, batch_window=30.0, max_batch=8) as svc:
+            t0 = time.monotonic()
+            await svc.predict("m", targets, priority=1)
+            return time.monotonic() - t0
+
+    with registry:
+        elapsed = asyncio.run(main())
+    assert elapsed < 5.0  # nowhere near the 30 s window
+
+
+def test_priority_group_dispatches_before_bulk(problem):
+    """Within one round, the group holding the priority request runs
+    first — its engine call precedes the bulk stack."""
+    registry = ModelRegistry(max_models=2)
+    engine = _RecordingEngine()
+    registry.add_engine("rec", engine)
+    rng = np.random.default_rng(0)
+    t_bulk, t_urgent = rng.random((4, 2)), rng.random((3, 2))
+    z = rng.standard_normal(3)
+
+    async def main():
+        async with PredictionService(registry, batch_window=0.2, max_batch=8) as svc:
+            bulk = [asyncio.ensure_future(svc.predict("rec", t_bulk)) for _ in range(3)]
+            urgent = asyncio.ensure_future(
+                svc.predict("rec", t_urgent, z=z, priority=5)
+            )
+            await asyncio.gather(*bulk, urgent)
+
+    with registry:
+        asyncio.run(main())
+    kinds = [kind for kind, _ in engine.calls]
+    assert "single" in kinds and "stack" in kinds
+    # The urgent explicit-z single call ran before the bulk stack.
+    assert kinds.index("single") < kinds.index("stack")
+
+
+def test_per_model_policy_overrides_defaults(problem):
+    registry = make_registry(problem)
+    with registry:
+        svc = PredictionService(registry, batch_window=0.25, max_batch=32)
+        assert svc.effective_policy("m") == (0.25, 32)
+        svc.set_policy("m", batch_window=0.0, max_batch=4)
+        assert svc.effective_policy("m") == (0.0, 4)
+        assert svc.effective_policy("other") == (0.25, 32)  # untouched
+        # Partial updates merge: tuning one knob keeps the other.
+        svc.set_policy("m", max_batch=6)
+        assert svc.effective_policy("m") == (0.0, 6)
+        svc.clear_policy("m")
+        assert svc.effective_policy("m") == (0.25, 32)
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            svc.set_policy("m", max_batch=0)
+
+
+def test_adaptive_window_learned_from_arrival_rate(problem):
+    """With adaptive batching the window approximates the time max_batch
+    arrivals take at the recent rate, capped at max_window; quiet models
+    fall back to the default."""
+    registry = make_registry(problem)
+    with registry:
+        svc = PredictionService(
+            registry,
+            batch_window=0.003,
+            max_batch=8,
+            adaptive_window=True,
+            max_window=0.5,
+        )
+        # No traffic yet: default window.
+        assert svc.effective_policy("m") == (0.003, 8)
+        base = time.monotonic()
+        for i in range(21):
+            svc.metrics.record_arrival("m", base - 0.2 + 0.01 * i)  # 100 req/s
+        window, max_batch = svc.effective_policy("m")
+        assert max_batch == 8
+        assert window == pytest.approx((8 - 1) / 100.0, rel=1e-6)
+        # A slow model's learned window is capped by max_window.
+        for i in range(3):
+            svc.metrics.record_arrival("cold", base - 2.0 + 0.9 * i)  # ~1.1 req/s
+        window, _ = svc.effective_policy("cold")
+        assert window == 0.5
+        # An explicit per-model policy beats the learned window.
+        svc.set_policy("m", batch_window=0.001)
+        assert svc.effective_policy("m")[0] == pytest.approx(0.001)
+
+
+def test_adaptive_window_still_bit_identical(problem):
+    """Adaptive batching changes *when* requests dispatch, never what
+    they compute: answers stay bit-identical to sequential predicts."""
+    registry = make_registry(problem, "tlr")
+    rng = np.random.default_rng(17)
+    target_sets = [np.ascontiguousarray(rng.random((m, 2))) for m in (5, 9, 3, 7)]
+    sequential = [registry.engine("m").predict(t) for t in target_sets]
+
+    async def main():
+        async with PredictionService(
+            registry, batch_window=0.05, max_batch=16, adaptive_window=True
+        ) as svc:
+            return await asyncio.gather(*[svc.predict("m", t) for t in target_sets])
+
+    with registry:
+        outs = asyncio.run(main())
+    for got, ref in zip(outs, sequential):
+        np.testing.assert_array_equal(got, ref)
+
+
 def test_malformed_request_does_not_poison_batch(problem):
     """Regression: one bad request in a coalesced group fails alone; the
     group retries per-request so innocent callers still get answers."""

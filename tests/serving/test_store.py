@@ -4,13 +4,22 @@ predictions bit-identical to the process that ran the fit."""
 from __future__ import annotations
 
 import json
+import tempfile
+from pathlib import Path
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.data import generate_irregular_grid, sample_gaussian_field
 from repro.exceptions import BundleError
 from repro.kernels import ExponentialCovariance, MaternCovariance
+from repro.kernels.covariance import (
+    GaussianCovariance,
+    PoweredExponentialCovariance,
+    WhittleCovariance,
+)
 from repro.mle import MLEstimator, PredictionEngine
 from repro.serving import ModelBundle, bundle_from_fit, load_model, save_model
 
@@ -138,6 +147,147 @@ def test_load_errors(tmp_path):
     (est_path / "arrays.npz").write_bytes(b"")
     with pytest.raises(BundleError):
         load_model(est_path)
+
+
+# --------------------------------------------------------------------------
+# Hypothesis: arbitrary bundles survive save -> load exactly, and malformed
+# meta.json raises BundleError — never a bare KeyError.
+# --------------------------------------------------------------------------
+
+_FAMILIES = (
+    MaternCovariance,
+    ExponentialCovariance,
+    WhittleCovariance,
+    GaussianCovariance,
+    PoweredExponentialCovariance,
+)
+
+
+@st.composite
+def _bundles(draw):
+    cls = draw(st.sampled_from(_FAMILIES))
+    base = cls(
+        metric=draw(st.sampled_from(["euclidean", "gcd"])),
+        nugget=draw(st.floats(0.0, 1e-2, allow_nan=False)),
+    )
+    theta = draw(
+        st.lists(
+            st.floats(0.05, 1.9, allow_nan=False),
+            min_size=len(base.param_names),
+            max_size=len(base.param_names),
+        )
+    )
+    model = base.with_theta(theta)
+    n = draw(st.integers(4, 16))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    locations = rng.random((n, 2))
+    z_kind = draw(st.sampled_from(["none", "vector", "matrix"]))
+    z = {
+        "none": None,
+        "vector": rng.standard_normal(n),
+        "matrix": rng.standard_normal((n, draw(st.integers(1, 3)))),
+    }[z_kind]
+    blocks = None
+    if draw(st.booleans()):
+        k = draw(st.integers(1, 3))
+        blocks = {
+            (i, i + k, 0, k): rng.random((k, k)) for i in range(draw(st.integers(1, 3)))
+        }
+    return ModelBundle(
+        model=model,
+        locations=locations,
+        z=z,
+        variant=draw(st.sampled_from(["full-block", "full-tile", "tlr"])),
+        acc=draw(st.floats(1e-12, 1e-2, allow_nan=False)),
+        tile_size=draw(st.integers(2, 64)),
+        compression_method=draw(st.sampled_from(["svd", "rsvd", "aca"])),
+        truncation=draw(st.sampled_from(["relative", "absolute"])),
+        distance_blocks=blocks,
+        info={
+            "loglik": draw(st.floats(-1e12, 1e12, allow_nan=False)),
+            "n_evals": draw(st.integers(0, 10_000)),
+            "note": draw(st.text(max_size=20)),
+        },
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(bundle=_bundles())
+def test_property_bundle_round_trip_exact(bundle):
+    with tempfile.TemporaryDirectory() as tmp:
+        loaded = load_model(bundle.save(Path(tmp) / "b.bundle"))
+    assert type(loaded.model) is type(bundle.model)
+    np.testing.assert_array_equal(loaded.model.theta, bundle.model.theta)
+    assert loaded.model.metric == bundle.model.metric
+    assert loaded.model.nugget == bundle.model.nugget  # exact: JSON repr round-trips
+    np.testing.assert_array_equal(loaded.locations, bundle.locations)
+    if bundle.z is None:
+        assert loaded.z is None
+    else:
+        np.testing.assert_array_equal(loaded.z, bundle.z)
+        assert loaded.z.shape == bundle.z.shape
+    assert loaded.variant == bundle.variant
+    assert loaded.acc == bundle.acc
+    assert loaded.tile_size == bundle.tile_size
+    assert loaded.compression_method == bundle.compression_method
+    assert loaded.truncation == bundle.truncation
+    assert loaded.info == bundle.info
+    if bundle.distance_blocks is None:
+        assert loaded.distance_blocks is None
+    else:
+        assert set(loaded.distance_blocks) == set(bundle.distance_blocks)
+        for key, block in bundle.distance_blocks.items():
+            np.testing.assert_array_equal(loaded.distance_blocks[key], block)
+
+
+_META_KEYS = (
+    ("model",),
+    ("substrate",),
+    ("n",),
+    ("model", "metric"),
+    ("model", "nugget"),
+    ("model", "theta"),
+    ("substrate", "variant"),
+    ("substrate", "acc"),
+    ("substrate", "tile_size"),
+    ("substrate", "compression_method"),
+    ("substrate", "truncation"),
+)
+
+
+@settings(max_examples=len(_META_KEYS), deadline=None)
+@given(path_to_drop=st.sampled_from(_META_KEYS))
+def test_property_missing_meta_key_raises_bundle_error(path_to_drop):
+    """Deleting any required meta.json key must surface as BundleError
+    (a typed, catchable ServingError) — never as a raw KeyError."""
+    locs = np.random.default_rng(0).random((6, 2))
+    bundle = ModelBundle(
+        model=MaternCovariance(1.0, 0.1, 0.5), locations=locs, z=None
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = bundle.save(Path(tmp) / "b.bundle")
+        meta = json.loads((path / "meta.json").read_text())
+        node = meta
+        for key in path_to_drop[:-1]:
+            node = node[key]
+        del node[path_to_drop[-1]]
+        (path / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(BundleError):
+            load_model(path)
+
+
+@pytest.mark.parametrize(
+    "content",
+    ["not json at all", "[1, 2, 3]", '{"format_version": 1, "model": "nope"}'],
+)
+def test_malformed_meta_json_raises_bundle_error(tmp_path, content):
+    locs = np.random.default_rng(0).random((6, 2))
+    path = ModelBundle(
+        model=MaternCovariance(1.0, 0.1, 0.5), locations=locs, z=None
+    ).save(tmp_path / "b.bundle")
+    (path / "meta.json").write_text(content)
+    with pytest.raises(BundleError):
+        load_model(path)
 
 
 def test_unknown_family_rejected(problem, tmp_path):
