@@ -1,0 +1,303 @@
+#!/usr/bin/env python
+"""Fitting-service benchmark: parallel multistart, resume overhead, and
+submit-to-reload latency.
+
+Three probes of the :mod:`repro.fitting` subsystem:
+
+* ``multistart`` — the same multistart MLE search run (a) sequentially
+  via ``MLEstimator.fit(n_starts=s)`` and (b) fanned out across
+  :class:`~repro.fitting.FitOrchestrator` worker processes. The thetas
+  must be **bit-identical** (same deterministic start list, same merge
+  rule); the speedup column is the point of the fan-out and scales with
+  available cores (``cpu_count`` is recorded alongside).
+* ``resume`` — one long fit checkpointed mid-run, then resumed from the
+  checkpoint in a fresh process-like state: resuming must converge to
+  the identical theta while re-paying only the iterations after the
+  checkpoint (reported as ``resume_fraction`` of the full wall time).
+* ``refit_reload`` — the closed serving loop: ``POST /v1/fit`` against
+  a live :class:`~repro.serving.ServingServer` (warm-start refit on new
+  observations), polled to completion, hot-reload included — reporting
+  the submit→served latency and the number of failed requests under
+  concurrent traffic (must be zero).
+
+Results go to ``BENCH_fit_service.json``.
+
+Run as a script:
+
+    PYTHONPATH=src python benchmarks/bench_fit_service.py
+    PYTHONPATH=src python benchmarks/bench_fit_service.py --n 400 --starts 4
+
+or through the benchmark suite (small problem):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fit_service.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.data import generate_irregular_grid, sample_gaussian_field, sort_locations
+from repro.fitting import FitJobSpec, FitOrchestrator, JobStore
+from repro.kernels import MaternCovariance
+from repro.mle import MLEstimator
+from repro.optim.neldermead import nelder_mead
+from repro.serving import ServingClient, ServingServer
+
+
+def _data(n: int, seed: int = 0, theta=(1.0, 0.1, 0.5)):
+    locs, _, _ = sort_locations(generate_irregular_grid(n, seed=seed))
+    z = sample_gaussian_field(locs, MaternCovariance(*theta), seed=seed + 1)
+    return locs, z
+
+
+def run_multistart_probe(
+    n: int, n_starts: int, maxiter: int, seed: int = 21
+) -> dict:
+    """Sequential vs process-parallel multistart on identical starts."""
+    locs, z = _data(n)
+
+    t0 = time.perf_counter()
+    sequential = MLEstimator(locs, z).fit(
+        maxiter=maxiter, n_starts=n_starts, seed=seed
+    )
+    sequential_s = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = JobStore(tmp)
+        with FitOrchestrator(store, max_workers=n_starts) as orch:
+            t0 = time.perf_counter()
+            job = orch.submit(
+                FitJobSpec(
+                    locations=locs, z=z, maxiter=maxiter,
+                    n_starts=n_starts, seed=seed, include_factor=False,
+                )
+            )
+            record = orch.wait(job, timeout=3600)
+            parallel_s = time.perf_counter() - t0
+    assert record["status"] == "done", record.get("error")
+    identical = bool(
+        np.array_equal(np.asarray(record["result"]["theta"]), sequential.theta)
+    )
+    return {
+        "n": n,
+        "n_starts": n_starts,
+        "maxiter": maxiter,
+        "cpu_count": os.cpu_count(),
+        "sequential_seconds": sequential_s,
+        "parallel_seconds": parallel_s,
+        "speedup": sequential_s / max(1e-12, parallel_s),
+        "theta_bit_identical": identical,
+        "n_evals": record["result"]["nfev"],
+    }
+
+
+def run_resume_probe(n: int, maxiter: int) -> dict:
+    """Kill-at-half-time simulation: resume cost vs the full fit."""
+    locs, z = _data(n)
+    opts = dict(maxiter=maxiter, ftol=1e-13, xtol=1e-13)  # runs the full budget
+
+    est = MLEstimator(locs, z)
+    lower, upper = est.default_bounds()
+    from repro.optim.bounds import empirical_start
+
+    x0 = empirical_start(est.z, lower, upper)
+    states = []
+    t0 = time.perf_counter()
+    full = nelder_mead(
+        est.evaluator.negative, x0, lower, upper, state_callback=states.append, **opts
+    )
+    full_s = time.perf_counter() - t0
+
+    checkpoint = states[len(states) // 2]
+    resumed_est = MLEstimator(locs, z)  # a fresh process's cold evaluator
+    t0 = time.perf_counter()
+    resumed = nelder_mead(
+        resumed_est.evaluator.negative, None, lower, upper,
+        state=checkpoint, **opts
+    )
+    resume_s = time.perf_counter() - t0
+    return {
+        "n": n,
+        "maxiter": maxiter,
+        "checkpoint_iteration": checkpoint.iteration,
+        "total_iterations": full.nit,
+        "full_seconds": full_s,
+        "resume_seconds": resume_s,
+        "resume_fraction": resume_s / max(1e-12, full_s),
+        "theta_bit_identical": bool(np.array_equal(resumed.x, full.x)),
+        "nfev_identical": resumed.nfev == full.nfev,
+    }
+
+
+def run_refit_reload_probe(
+    n: int, maxiter: int, num_workers: int = 2, traffic_threads: int = 2
+) -> dict:
+    """Submit→hot-reload latency over HTTP with traffic; zero failures."""
+    locs, z = _data(n)
+    est = MLEstimator(locs, z)
+    fit = est.fit(maxiter=maxiter)
+    z_new = sample_gaussian_field(locs, MaternCovariance(1.6, 0.2, 0.9), seed=17)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = est.save_fit(fit, Path(tmp) / "m.bundle")
+        with ServingServer(
+            {"m": bundle},
+            num_workers=num_workers,
+            fit_options={"max_workers": 2, "checkpoint_every": 1},
+        ) as server:
+            targets = np.ascontiguousarray(np.random.default_rng(3).random((16, 2)))
+            stop = threading.Event()
+            served = [0]
+            failures = [0]
+
+            def hammer() -> None:
+                with ServingClient(server.url) as cli:
+                    while not stop.is_set():
+                        try:
+                            cli.predict("m", targets)
+                            served[0] += 1
+                        except Exception:  # noqa: BLE001 - counted below
+                            failures[0] += 1
+
+            threads = [threading.Thread(target=hammer) for _ in range(traffic_threads)]
+            for t in threads:
+                t.start()
+            try:
+                with ServingClient(server.url) as cli:
+                    t0 = time.perf_counter()
+                    job = cli.fit(from_model="m", z=z_new, maxiter=maxiter, seed=5)
+                    submit_s = time.perf_counter() - t0
+                    record = cli.wait_job(job["job_id"], timeout=3600, poll=0.02)
+                    submit_to_reload_s = time.perf_counter() - t0
+            finally:
+                stop.set()
+                for t in threads:
+                    t.join()
+    return {
+        "n": n,
+        "maxiter": maxiter,
+        "num_workers": num_workers,
+        "submit_ms": submit_s * 1e3,
+        "submit_to_reload_seconds": submit_to_reload_s,
+        "fit_evaluations": record["result"]["nfev"],
+        "requests_during_refit": served[0],
+        "failed_requests": failures[0],
+        "served": bool(record.get("served")),
+    }
+
+
+def run_bench(
+    n: int = 400,
+    n_starts: int = 4,
+    maxiter: int = 60,
+    refit_n: int = 196,
+    refit_maxiter: int = 40,
+    num_workers: int = 2,
+) -> dict:
+    multistart = run_multistart_probe(n, n_starts, maxiter)
+    resume = run_resume_probe(n, maxiter)
+    refit = run_refit_reload_probe(refit_n, refit_maxiter, num_workers=num_workers)
+    return {
+        "summary": {
+            "cpu_count": os.cpu_count(),
+            "multistart_speedup": multistart["speedup"],
+            "resume_fraction": resume["resume_fraction"],
+            "submit_to_reload_seconds": refit["submit_to_reload_seconds"],
+            "failed_requests_during_refit": refit["failed_requests"],
+            "all_bit_identical": (
+                multistart["theta_bit_identical"] and resume["theta_bit_identical"]
+            ),
+        },
+        "multistart": multistart,
+        "resume": resume,
+        "refit_reload": refit,
+    }
+
+
+def write_report(report: dict, out: Optional[str] = None) -> Path:
+    """Write the report JSON (default: ``results/BENCH_fit_service.json``)."""
+    if out is None:
+        from repro.experiments.common import results_dir
+
+        path = results_dir() / "BENCH_fit_service.json"
+    else:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_fit_service(outdir):
+    """Benchmark-suite entry: small problem, correctness-flavored asserts.
+
+    Parity and zero-failure are asserted unconditionally; wall-clock
+    speedup is reported data (it needs free cores — the CI smoke runs on
+    multi-core runners, and ``cpu_count`` travels with the number).
+    """
+    report = run_bench(
+        n=256, n_starts=2, maxiter=40, refit_n=144, refit_maxiter=25
+    )
+    assert report["multistart"]["theta_bit_identical"]
+    assert report["resume"]["theta_bit_identical"]
+    assert report["resume"]["nfev_identical"]
+    # Resuming at ~half-way must cost well under a full re-fit.
+    assert report["resume"]["resume_fraction"] < 0.9
+    assert report["refit_reload"]["failed_requests"] == 0
+    assert report["refit_reload"]["served"]
+    write_report(report)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=400, help="training-set size")
+    parser.add_argument("--starts", type=int, default=4, help="multistart width")
+    parser.add_argument("--maxiter", type=int, default=60, help="optimizer budget")
+    parser.add_argument("--refit-n", type=int, default=196, help="refit problem size")
+    parser.add_argument("--refit-maxiter", type=int, default=40, help="refit budget")
+    parser.add_argument("--workers", type=int, default=2, help="serving workers")
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args()
+
+    report = run_bench(
+        n=args.n,
+        n_starts=args.starts,
+        maxiter=args.maxiter,
+        refit_n=args.refit_n,
+        refit_maxiter=args.refit_maxiter,
+        num_workers=args.workers,
+    )
+    path = write_report(report, args.out)
+    ms, rs, rr = report["multistart"], report["resume"], report["refit_reload"]
+    print(f"wrote {path}")
+    print(
+        f"multistart (n={ms['n']}, {ms['n_starts']} starts, "
+        f"{ms['cpu_count']} cores): sequential {ms['sequential_seconds']:.2f}s, "
+        f"parallel {ms['parallel_seconds']:.2f}s → {ms['speedup']:.2f}x, "
+        f"bit-identical: {ms['theta_bit_identical']}"
+    )
+    print(
+        f"resume (checkpoint at it {rs['checkpoint_iteration']}/"
+        f"{rs['total_iterations']}): full {rs['full_seconds']:.2f}s, "
+        f"resume {rs['resume_seconds']:.2f}s "
+        f"({rs['resume_fraction']:.2f} of full), "
+        f"bit-identical: {rs['theta_bit_identical']}"
+    )
+    print(
+        f"refit→reload (n={rr['n']}): submit {rr['submit_ms']:.0f} ms, "
+        f"submit→served {rr['submit_to_reload_seconds']:.2f}s, "
+        f"{rr['requests_during_refit']} requests under refit, "
+        f"{rr['failed_requests']} failed"
+    )
+
+
+if __name__ == "__main__":
+    main()

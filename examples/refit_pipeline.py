@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""The closed refit loop: serve → new observations → refit job → hot-reload.
+
+``examples/serving_http_demo.py`` hot-reloads a bundle that was re-fitted
+*by hand*. This demo closes the loop with the fitting service — fitting
+becomes a durable, supervised job instead of a script:
+
+1. **Fit + serve**: a Matérn model is fitted, saved as a bundle, and
+   served by a :class:`~repro.serving.ServingServer` (which also hosts a
+   :class:`~repro.fitting.FitOrchestrator` in its router process).
+2. **Drift**: new observations arrive at the same stations — the field
+   changed, the served theta is stale.
+3. **Refit job over HTTP**: ``client.fit(from_model=...)`` submits a
+   warm-start refit (``POST /v1/fit``) — the served model's bundle
+   supplies the locations and substrate, the new observations replace
+   ``z``, and the search starts from the served theta. The job runs on
+   orchestrator worker processes, checkpointing every iteration; its
+   per-iteration log-likelihood trace is polled live from
+   ``GET /v1/jobs/<id>``.
+4. **Hot-reload under traffic**: when the job lands, the orchestrator
+   saves the new bundle and the server swaps it in via the owning
+   worker's :meth:`~repro.serving.ModelRegistry.reload` — concurrent
+   clients hammer the model throughout and not one request fails;
+   answers drain from the old engine's to the new engine's.
+
+Run:  python examples/refit_pipeline.py
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import generate_irregular_grid, sample_gaussian_field, sort_locations
+from repro.kernels import MaternCovariance
+from repro.mle import MLEstimator
+from repro.serving import ServingClient, ServingServer
+
+N_TRAIN = 300
+MODEL_ID = "station-field"
+MAXITER = 50
+
+
+def main() -> None:
+    locs, _, _ = sort_locations(generate_irregular_grid(N_TRAIN, seed=0))
+    truth_v1 = MaternCovariance(1.0, 0.12, 0.5)
+    z_v1 = sample_gaussian_field(locs, truth_v1, seed=1)
+
+    # -- 1. fit + serve
+    est = MLEstimator(locs, z_v1, variant="full-tile", tile_size=75)
+    fit = est.fit(maxiter=MAXITER)
+    print(f"v1 theta = {np.round(fit.theta, 4)}  ({fit.n_evals} evaluations)")
+
+    rng = np.random.default_rng(7)
+    targets = np.ascontiguousarray(rng.random((24, 2)))
+    v1_reference = est.predict(fit, targets)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle_path = est.save_fit(fit, Path(tmp) / f"{MODEL_ID}.bundle")
+        with ServingServer(
+            {MODEL_ID: bundle_path},
+            num_workers=2,
+            jobs_dir=Path(tmp) / "fit-jobs",
+            fit_options={"max_workers": 2, "checkpoint_every": 1},
+        ) as server:
+            client = ServingClient(server.url)
+            assert np.array_equal(client.predict(MODEL_ID, targets), v1_reference)
+            print(f"serving v1 on {server.url}")
+
+            # -- 2. the field drifts; new observations arrive
+            truth_v2 = MaternCovariance(1.6, 0.2, 0.9)
+            z_v2 = sample_gaussian_field(locs, truth_v2, seed=11)
+
+            # -- 3. submit the warm-start refit and keep traffic flowing
+            stop = False
+            served = {"old": 0, "new": 0}
+            failures: list = []
+
+            def background_traffic() -> None:
+                with ServingClient(server.url) as cli:
+                    while not stop:
+                        try:
+                            out = cli.predict(MODEL_ID, targets)
+                        except Exception as exc:  # noqa: BLE001 - report below
+                            failures.append(exc)
+                            continue
+                        served["old" if np.array_equal(out, v1_reference) else "new"] += 1
+
+            with concurrent.futures.ThreadPoolExecutor(3) as pool:
+                traffic = [pool.submit(background_traffic) for _ in range(3)]
+                try:
+                    t0 = time.perf_counter()
+                    job = client.fit(
+                        from_model=MODEL_ID, z=z_v2, maxiter=MAXITER, seed=5
+                    )
+                    print(f"submitted refit job {job['job_id']} (warm start from v1)")
+
+                    last_it = 0
+                    deadline = time.time() + 600
+                    while time.time() < deadline:
+                        record = client.job(job["job_id"])
+                        trace = record.get("trace", {}).get("0", [])
+                        if trace and trace[-1]["iteration"] > last_it:
+                            last_it = trace[-1]["iteration"]
+                            print(
+                                f"  iteration {last_it:3d}: "
+                                f"loglik = {trace[-1]['loglik']:.3f}"
+                            )
+                        if record["status"] == "failed" or record.get("serve_error"):
+                            break
+                        if record["status"] == "done" and record.get("served"):
+                            break
+                        time.sleep(0.2)
+                    submit_to_reload = time.perf_counter() - t0
+                    time.sleep(0.1)  # a little post-swap traffic
+                finally:
+                    # Always release the traffic threads — an exception
+                    # above must error out, not hang the pool shutdown.
+                    stop = True
+                for f in traffic:
+                    f.result()
+
+            assert record["status"] == "done", record.get("error")
+            assert record.get("served"), record.get("serve_error")
+            new_theta = np.asarray(record["result"]["theta"])
+            print(f"v2 theta = {np.round(new_theta, 4)} "
+                  f"(loglik {record['result']['loglik']:.3f}, "
+                  f"{record['result']['nfev']} evaluations)")
+            print(f"submit → hot-reload in {submit_to_reload:.2f} s")
+
+            # -- 4. the swap was invisible to clients
+            assert not failures, f"requests failed during the refit: {failures[:3]}"
+            print(
+                f"traffic across the refit: {served['old']} old-engine + "
+                f"{served['new']} new-engine answers, 0 failures"
+            )
+            post = client.predict(MODEL_ID, targets)
+            assert not np.array_equal(post, v1_reference)
+            print("post-reload traffic serves the re-fitted model: yes")
+            client.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,9 @@ Estimation for the Prediction of Large-Scale Geostatistics Simulations*
 * :mod:`repro.serving` — persisted model bundles, a warm-engine
   registry, an async micro-batching prediction service, and a
   multi-process HTTP server/client with hot-reload;
+* :mod:`repro.fitting` — durable fit jobs: checkpoint/resume
+  Nelder-Mead, process-parallel multistart orchestration, and
+  refit-to-hot-reload integration with the serving layer;
 * :mod:`repro.perfmodel` — machine/cluster models and the performance
   estimator standing in for the paper's Intel servers and Shaheen-2;
 * :mod:`repro.experiments` — drivers regenerating every table and figure.
@@ -60,6 +63,7 @@ from .mle import (
     run_monte_carlo,
 )
 from .optim import nelder_mead
+from .fitting import FitJobSpec, FitOrchestrator, JobStore
 from .serving import (
     ModelBundle,
     ModelRegistry,
@@ -98,6 +102,9 @@ __all__ = [
     "mean_squared_error",
     "run_monte_carlo",
     "nelder_mead",
+    "FitJobSpec",
+    "FitOrchestrator",
+    "JobStore",
     "ModelBundle",
     "ModelRegistry",
     "PredictionService",

@@ -120,6 +120,22 @@ class Config:
         sparse arrival history can never hold requests open for long.
         Explicitly configured windows (the service default and
         per-model policies) are honored verbatim.
+    fit_workers:
+        Worker *processes* a
+        :class:`~repro.fitting.orchestrator.FitOrchestrator` runs fit
+        tasks on — the concurrency cap across all queued jobs and the
+        fan-out width for a single job's multistart search.
+    fit_checkpoint_every:
+        Iterations between on-disk Nelder-Mead checkpoints of a running
+        fit task. ``1`` checkpoints every iteration (cheapest possible
+        resume, most I/O); larger values amortize the write.
+    fit_max_restarts:
+        Times the orchestrator respawns each fit task (one multistart
+        leg) whose worker process died abnormally (killed, OOM) before
+        declaring the job failed — counted per task, so one machine-wide
+        event that kills every leg of a job once does not exhaust the
+        budget. Restarts resume from the task's last checkpoint, so
+        paid iterations are never re-fit from scratch.
     """
 
     tile_size: int = 250
@@ -140,6 +156,9 @@ class Config:
     serving_workers: int = 2
     serving_adaptive_window: bool = False
     serving_max_window: float = 0.05
+    fit_workers: int = 2
+    fit_checkpoint_every: int = 5
+    fit_max_restarts: int = 2
 
     def __post_init__(self) -> None:
         self.validate()
@@ -198,6 +217,18 @@ class Config:
         if self.serving_max_window < 0:
             raise ConfigurationError(
                 f"serving_max_window must be >= 0, got {self.serving_max_window}"
+            )
+        if self.fit_workers < 1:
+            raise ConfigurationError(
+                f"fit_workers must be >= 1, got {self.fit_workers}"
+            )
+        if self.fit_checkpoint_every < 1:
+            raise ConfigurationError(
+                f"fit_checkpoint_every must be >= 1, got {self.fit_checkpoint_every}"
+            )
+        if self.fit_max_restarts < 0:
+            raise ConfigurationError(
+                f"fit_max_restarts must be >= 0, got {self.fit_max_restarts}"
             )
 
     def resolved_workers(self) -> int:

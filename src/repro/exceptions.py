@@ -54,6 +54,23 @@ class OptimizationError(ReproError):
     """The derivative-free optimizer failed to make progress."""
 
 
+class FittingError(ReproError):
+    """Base class for errors raised by the :mod:`repro.fitting` subsystem.
+
+    Raised for invalid job specifications, corrupt job stores, and fit
+    jobs that terminally failed (a crashed worker that exhausted its
+    restart budget, an objective that raised, ...).
+    """
+
+
+class JobNotFoundError(FittingError):
+    """A fit-job id is not known to the :class:`~repro.fitting.JobStore`."""
+
+
+class CheckpointError(FittingError):
+    """A fit checkpoint file is missing, truncated, or inconsistent."""
+
+
 class ServingError(ReproError):
     """Base class for errors raised by the :mod:`repro.serving` subsystem."""
 

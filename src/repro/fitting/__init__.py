@@ -1,0 +1,56 @@
+"""Fitting service: durable, parallel, resumable MLE fit jobs.
+
+The paper's expensive half is *fitting* — hundreds of likelihood
+evaluations, each a full generate-and-factorize of ``Sigma(theta)``
+(§III, Figures 3-4). After the serving PRs, this repo could only run
+that loop as a blocking, single-process, lose-everything-on-kill call.
+This package packages it as a managed workflow, the way ExaGeoStatR
+wraps ExaGeoStat's fitting loop and Hong et al. (2019) motivate routine
+re-fitting across approximation levels:
+
+* :mod:`repro.fitting.jobs` — :class:`FitJobSpec` (what to fit: data or
+  bundle ref, kernel, substrate, optimizer settings, multistart seed)
+  and :class:`JobStore`, the crash-recoverable on-disk ledger with
+  per-iteration log-likelihood traces;
+* :mod:`repro.fitting.checkpoint` — atomic persistence of the
+  optimizer's :class:`~repro.optim.neldermead.SimplexState`, so a
+  killed fit resumes bit-identically to an uninterrupted run;
+* :mod:`repro.fitting.orchestrator` — :class:`FitOrchestrator`, which
+  fans a job's multistart legs out across worker processes (bounded
+  concurrency, sequential-parity merge), auto-respawns killed workers
+  from their checkpoints, and finalizes each finished fit into a
+  :class:`~repro.serving.store.ModelBundle`.
+
+:class:`~repro.serving.server.ServingServer` mounts the orchestrator as
+``POST /v1/fit`` + ``GET /v1/jobs/<id>`` and hot-reloads the target
+model when a job lands, closing the observe → refit → serve loop with
+zero downtime.
+
+Fit as a job, in process:
+
+>>> store = JobStore("fit-jobs")                        # doctest: +SKIP
+>>> with FitOrchestrator(store, max_workers=4) as orch: # doctest: +SKIP
+...     job_id = orch.submit(FitJobSpec(locations=locs, z=z,
+...                                     n_starts=4, seed=7))
+...     record = orch.wait(job_id)
+...     record["result"]["theta"]
+
+Refit over HTTP (see ``examples/refit_pipeline.py``):
+
+>>> client.fit(model_id="soil", from_model="soil", z=new_obs)  # doctest: +SKIP
+>>> client.wait_job("job-000001")                              # doctest: +SKIP
+"""
+
+from .checkpoint import Checkpointer, load_state, save_state
+from .jobs import FitJobSpec, JobStore, merge_start_results
+from .orchestrator import FitOrchestrator
+
+__all__ = [
+    "Checkpointer",
+    "FitJobSpec",
+    "FitOrchestrator",
+    "JobStore",
+    "load_state",
+    "merge_start_results",
+    "save_state",
+]

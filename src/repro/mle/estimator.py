@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..config import get_config
 from ..data.datasets import GeoDataset
 from ..data.morton import morton_order
 from ..kernels.covariance import CovarianceModel, MaternCovariance
@@ -54,6 +55,12 @@ class FitResult:
         Cumulative generation / factorization / solve seconds.
     variant, acc:
         Substrate used.
+    options:
+        The optimizer settings the fit actually ran with — resolved
+        seed, ``n_starts``, tolerances, bounds, and starting point —
+        recorded so a persisted bundle can state exactly how to
+        reproduce its fit (see
+        :func:`~repro.serving.store.bundle_from_fit`).
     """
 
     theta: np.ndarray
@@ -65,6 +72,15 @@ class FitResult:
     stage_times: dict = field(default_factory=dict)
     variant: str = "full-block"
     acc: Optional[float] = None
+    options: dict = field(default_factory=dict)
+
+    @property
+    def history(self):
+        """Per-iteration ``(iteration, theta, fun)`` trajectory of the
+        winning optimizer run (``fun`` is the *negative* log-likelihood),
+        straight off :attr:`optimizer` — fit-progress reporting needs no
+        side channel."""
+        return self.optimizer.history
 
 
 class MLEstimator:
@@ -164,6 +180,23 @@ class MLEstimator:
         return cls(dataset.locations, dataset.values, **kwargs)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------ fit
+    def default_bounds(self) -> tuple:
+        """The optimization box :meth:`fit` uses when none is given.
+
+        :func:`~repro.optim.bounds.default_matern_bounds` scaled to the
+        metric (unit square vs GCD degrees), truncated to the variance +
+        range box for two-parameter families. Exposed so out-of-process
+        fit workers (:mod:`repro.fitting`) resolve the *identical* box —
+        bounds shape the multistart draw, so parity with an in-process
+        fit depends on this being one code path.
+        """
+        max_range = 60.0 if self.model.metric in ("gcd", "great_circle") else 5.0
+        lo3, hi3 = default_matern_bounds(self.z, max_range=max_range)
+        if len(self.model.param_names) == 3:
+            return lo3, hi3
+        # Two-parameter families: variance + range box.
+        return lo3[:2], hi3[:2]
+
     def fit(
         self,
         *,
@@ -173,6 +206,7 @@ class MLEstimator:
         ftol: float = 1e-6,
         xtol: float = 1e-6,
         n_starts: int = 1,
+        seed: Optional[int] = None,
     ) -> FitResult:
         """Maximize the log-likelihood; returns a :class:`FitResult`.
 
@@ -182,9 +216,7 @@ class MLEstimator:
             Starting ``theta``; defaults to empirical values from the data
             (paper §IV's recommendation).
         bounds:
-            ``(lower, upper)`` arrays; defaults to
-            :func:`~repro.optim.bounds.default_matern_bounds` scaled to
-            the metric (unit square vs GCD degrees).
+            ``(lower, upper)`` arrays; defaults to :meth:`default_bounds`.
         maxiter, ftol, xtol:
             Optimizer controls (see
             :func:`~repro.optim.neldermead.nelder_mead`).
@@ -192,19 +224,18 @@ class MLEstimator:
             With ``n_starts > 1``, run a multistart search (first start
             at ``x0``, the rest log-uniform in the box) — useful for the
             weakly identified strong-correlation regimes of Tables I/II.
+        seed:
+            Seed for the multistart draw (``None`` uses the configured
+            ``rng_seed``). Recorded in :attr:`FitResult.options` either
+            way, so the fit is reproducible from its result alone.
         """
         if bounds is None:
-            max_range = 60.0 if self.model.metric in ("gcd", "great_circle") else 5.0
-            if len(self.model.param_names) == 3:
-                lower, upper = default_matern_bounds(self.z, max_range=max_range)
-            else:
-                # Two-parameter families: variance + range box.
-                lo3, hi3 = default_matern_bounds(self.z, max_range=max_range)
-                lower, upper = lo3[:2], hi3[:2]
+            lower, upper = self.default_bounds()
         else:
             lower, upper = validate_bounds(*bounds)
         if x0 is None:
             x0 = empirical_start(self.z, lower, upper)
+        resolved_seed = get_config().rng_seed if seed is None else int(seed)
 
         sw = Stopwatch()
         with sw:
@@ -215,6 +246,7 @@ class MLEstimator:
                     upper,
                     n_starts=n_starts,
                     x0=x0,
+                    seed=resolved_seed,
                     ftol=ftol,
                     xtol=xtol,
                     maxiter=maxiter,
@@ -240,6 +272,19 @@ class MLEstimator:
             stage_times=dict(self.evaluator.times.stages),
             variant=self.variant,
             acc=self.acc,
+            options={
+                "x0": [float(v) for v in np.asarray(x0, dtype=np.float64)],
+                "bounds": {
+                    "lower": [float(v) for v in lower],
+                    "upper": [float(v) for v in upper],
+                },
+                "maxiter": int(maxiter),
+                "ftol": float(ftol),
+                "xtol": float(xtol),
+                "n_starts": int(n_starts),
+                "seed": resolved_seed,
+                "use_morton": self._perm is not None,
+            },
         )
 
     # -------------------------------------------------------------- predict

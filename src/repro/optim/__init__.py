@@ -8,14 +8,22 @@ termination. A multi-start wrapper guards against the simplex stalling on
 anisotropic likelihood surfaces.
 """
 
-from .result import OptimizeResult
-from .neldermead import nelder_mead, multistart_nelder_mead
+from .result import HistoryEntry, OptimizeResult
+from .neldermead import (
+    SimplexState,
+    multistart_nelder_mead,
+    multistart_points,
+    nelder_mead,
+)
 from .bounds import clip_to_bounds, default_matern_bounds, empirical_start
 
 __all__ = [
+    "HistoryEntry",
     "OptimizeResult",
+    "SimplexState",
     "nelder_mead",
     "multistart_nelder_mead",
+    "multistart_points",
     "clip_to_bounds",
     "default_matern_bounds",
     "empirical_start",

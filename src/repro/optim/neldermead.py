@@ -7,13 +7,22 @@ constraints: every trial vertex is clamped to the bounds before
 evaluation. Termination follows the usual twin criteria on the simplex's
 function-value spread (``ftol``) and geometric diameter (``xtol``).
 
+The optimizer's entire iteration state is the simplex, its function
+values, and a pair of counters. :class:`SimplexState` packages exactly
+that, and ``nelder_mead`` can both emit one per iteration
+(``state_callback``) and start from one (``state``) — resuming from any
+snapshot replays the remaining iterations bit-identically, which is what
+lets the fitting service checkpoint a long MLE fit and survive a kill
+(see :mod:`repro.fitting.checkpoint`).
+
 The MLE drivers *maximize* the log-likelihood by minimizing its negation;
 this module is a pure minimizer and knows nothing about likelihoods.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -21,9 +30,64 @@ from ..exceptions import OptimizationError
 from ..utils.rng import SeedLike, as_generator
 from ..utils.validation import as_float_array
 from .bounds import clip_to_bounds, validate_bounds
-from .result import OptimizeResult
+from .result import HistoryEntry, OptimizeResult
 
-__all__ = ["nelder_mead", "multistart_nelder_mead"]
+__all__ = [
+    "SimplexState",
+    "nelder_mead",
+    "multistart_points",
+    "multistart_nelder_mead",
+]
+
+
+@dataclass
+class SimplexState:
+    """The complete iteration state of one Nelder-Mead run.
+
+    A snapshot taken after iteration ``iteration`` completed; feeding it
+    back through ``nelder_mead(..., state=...)`` continues the run as if
+    it had never stopped — same iterates, same evaluation count, same
+    final vertex, bit for bit (the algorithm is deterministic given the
+    simplex and the objective).
+
+    Attributes
+    ----------
+    simplex:
+        ``(n + 1, n)`` vertex matrix after the iteration's update.
+    fvals:
+        ``(n + 1,)`` objective values of the vertices.
+    iteration:
+        Number of completed iterations.
+    nfev:
+        Objective evaluations spent so far.
+    history:
+        Trajectory entries accumulated so far (one per iteration).
+    """
+
+    simplex: np.ndarray
+    fvals: np.ndarray
+    iteration: int
+    nfev: int
+    history: List[HistoryEntry]
+
+    def validate(self, n: int) -> "SimplexState":
+        """Check the state describes an ``n``-dimensional simplex."""
+        simplex = np.asarray(self.simplex, dtype=np.float64)
+        fvals = np.asarray(self.fvals, dtype=np.float64)
+        if simplex.shape != (n + 1, n):
+            raise OptimizationError(
+                f"resume state simplex has shape {simplex.shape}, expected {(n + 1, n)}"
+            )
+        if fvals.shape != (n + 1,):
+            raise OptimizationError(
+                f"resume state fvals has shape {fvals.shape}, expected {(n + 1,)}"
+            )
+        if self.iteration < 0 or self.nfev < 0:
+            raise OptimizationError(
+                f"resume state counters must be >= 0, got iteration={self.iteration} "
+                f"nfev={self.nfev}"
+            )
+        return self
 
 
 def _initial_simplex(
@@ -49,7 +113,7 @@ def _initial_simplex(
 
 def nelder_mead(
     fn: Callable[[np.ndarray], float],
-    x0: Sequence[float],
+    x0: Optional[Sequence[float]],
     lower: Sequence[float],
     upper: Sequence[float],
     *,
@@ -58,6 +122,8 @@ def nelder_mead(
     maxiter: int = 500,
     initial_scale: float = 0.10,
     callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
+    state: Optional[SimplexState] = None,
+    state_callback: Optional[Callable[[SimplexState], None]] = None,
 ) -> OptimizeResult:
     """Minimize ``fn`` over a box with the Nelder-Mead simplex method.
 
@@ -67,7 +133,8 @@ def nelder_mead(
         Objective; called with a 1-D parameter vector inside the box.
         May return ``+inf`` (e.g. penalty for a failed factorization).
     x0:
-        Starting point (clamped into the box).
+        Starting point (clamped into the box). May be ``None`` when
+        resuming from ``state`` — the simplex is the whole start.
     lower, upper:
         Box constraints (elementwise, strict ``lower < upper``).
     ftol:
@@ -79,21 +146,37 @@ def nelder_mead(
         ftol and xtol criteria (scipy semantics; either alone fires
         spuriously on symmetric or plateaued objectives).
     maxiter:
-        Iteration cap (one reflection cycle per iteration).
+        Iteration cap (one reflection cycle per iteration; resuming
+        counts the checkpointed iterations against the same cap).
     initial_scale:
         Initial simplex size as a fraction of the box width per axis.
     callback:
         Called as ``callback(iteration, best_x, best_f)`` once per
         iteration — the hook the MLE driver uses to log per-iteration
-        timings (the quantity Figures 3-4 report).
+        timings (the quantity Figures 3-4 report). On resume it fires
+        for the *remaining* iterations only, so appended logs carry no
+        duplicates.
+    state:
+        Resume from this :class:`SimplexState` instead of building an
+        initial simplex around ``x0``. The continuation is bit-identical
+        to the uninterrupted run.
+    state_callback:
+        Called with a fresh :class:`SimplexState` snapshot after every
+        iteration's simplex update — the checkpoint stream. Snapshots
+        own their arrays (safe to persist or keep).
 
     Returns
     -------
     :class:`OptimizeResult`
     """
     lo, hi = validate_bounds(lower, upper)
-    x0 = clip_to_bounds(as_float_array(x0, "x0"), lo, hi)
-    n = x0.size
+    if state is None:
+        if x0 is None:
+            raise OptimizationError("x0 is required when no resume state is given")
+        x0 = clip_to_bounds(as_float_array(x0, "x0"), lo, hi)
+        n = x0.size
+    else:
+        n = lo.size
     if n == 0:
         raise OptimizationError("cannot optimize a zero-dimensional parameter vector")
     if maxiter < 1:
@@ -116,22 +199,32 @@ def nelder_mead(
             return np.inf
         return val
 
-    simplex = _initial_simplex(x0, lo, hi, initial_scale)
-    fvals = np.array([evaluate(v) for v in simplex])
-    history: list[float] = []
-    widths = hi - lo
+    if state is None:
+        simplex = _initial_simplex(x0, lo, hi, initial_scale)
+        fvals = np.array([evaluate(v) for v in simplex])
+        history: List[HistoryEntry] = []
+        first_iteration = 1
+    else:
+        state.validate(n)
+        simplex = np.array(state.simplex, dtype=np.float64, copy=True)
+        fvals = np.array(state.fvals, dtype=np.float64, copy=True)
+        history = list(state.history)
+        nfev = int(state.nfev)
+        first_iteration = int(state.iteration) + 1
 
+    widths = hi - lo
     converged = False
     message = "maximum number of iterations reached"
-    it = 0
-    for it in range(1, maxiter + 1):
+    it = first_iteration - 1
+    for it in range(first_iteration, maxiter + 1):
         order = np.argsort(fvals, kind="stable")
         simplex = simplex[order]
         fvals = fvals[order]
         best, worst = fvals[0], fvals[-1]
-        history.append(float(best))
+        best_x = simplex[0].copy()
+        history.append(HistoryEntry(it, best_x, float(best)))
         if callback is not None:
-            callback(it, simplex[0].copy(), float(best))
+            callback(it, best_x, float(best))
 
         # Termination: require BOTH criteria (as scipy does) — the
         # f-spread alone fires spuriously when distinct vertices share an
@@ -179,6 +272,17 @@ def nelder_mead(
                     )
                     fvals[i] = evaluate(simplex[i])
 
+        if state_callback is not None:
+            state_callback(
+                SimplexState(
+                    simplex=simplex.copy(),
+                    fvals=fvals.copy(),
+                    iteration=it,
+                    nfev=nfev,
+                    history=list(history),
+                )
+            )
+
     order = np.argsort(fvals, kind="stable")
     simplex = simplex[order]
     fvals = fvals[order]
@@ -193,6 +297,40 @@ def nelder_mead(
     )
 
 
+def multistart_points(
+    lower: Sequence[float],
+    upper: Sequence[float],
+    *,
+    n_starts: int = 3,
+    x0: Optional[Sequence[float]] = None,
+    seed: SeedLike = None,
+) -> List[np.ndarray]:
+    """The deterministic start list a multistart search runs from.
+
+    The first start is ``x0`` (when given); the rest are drawn
+    log-uniformly inside the box when all lower bounds are positive
+    (which suits positive scale parameters like the Matérn theta), and
+    uniformly otherwise. Exposed separately so the fitting
+    orchestrator's worker processes can each regenerate the identical
+    list from ``(bounds, x0, seed)`` and claim one index — parallel
+    multistart then explores exactly the starts the sequential
+    :func:`multistart_nelder_mead` would.
+    """
+    lo, hi = validate_bounds(lower, upper)
+    rng = as_generator(seed)
+    starts: List[np.ndarray] = []
+    if x0 is not None:
+        starts.append(clip_to_bounds(as_float_array(x0, "x0"), lo, hi))
+    log_ok = bool(np.all(lo > 0.0))
+    while len(starts) < max(1, n_starts):
+        u = rng.random(lo.size)
+        if log_ok:
+            starts.append(np.exp(np.log(lo) + u * (np.log(hi) - np.log(lo))))
+        else:
+            starts.append(lo + u * (hi - lo))
+    return starts
+
+
 def multistart_nelder_mead(
     fn: Callable[[np.ndarray], float],
     lower: Sequence[float],
@@ -205,22 +343,14 @@ def multistart_nelder_mead(
 ) -> OptimizeResult:
     """Run Nelder-Mead from several starts; return the best result.
 
-    The first start is ``x0`` (when given); the rest are drawn
-    log-uniformly inside the box, which suits positive scale parameters
-    like the Matérn theta. Evaluation counts are aggregated.
+    Starts come from :func:`multistart_points`; evaluation counts are
+    aggregated. Ties keep the earliest start, so a process-parallel
+    fan-out that merges per-start results with the same rule (see
+    :class:`~repro.fitting.orchestrator.FitOrchestrator`) reproduces
+    this function's answer exactly.
     """
     lo, hi = validate_bounds(lower, upper)
-    rng = as_generator(seed)
-    starts: list[np.ndarray] = []
-    if x0 is not None:
-        starts.append(clip_to_bounds(as_float_array(x0, "x0"), lo, hi))
-    log_ok = bool(np.all(lo > 0.0))
-    while len(starts) < max(1, n_starts):
-        u = rng.random(lo.size)
-        if log_ok:
-            starts.append(np.exp(np.log(lo) + u * (np.log(hi) - np.log(lo))))
-        else:
-            starts.append(lo + u * (hi - lo))
+    starts = multistart_points(lo, hi, n_starts=n_starts, x0=x0, seed=seed)
     best: Optional[OptimizeResult] = None
     total_nfev = 0
     total_nit = 0

@@ -1,13 +1,31 @@
-"""Result container for the derivative-free optimizers."""
+"""Result containers for the derivative-free optimizers."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, NamedTuple
 
 import numpy as np
 
-__all__ = ["OptimizeResult"]
+__all__ = ["HistoryEntry", "OptimizeResult"]
+
+
+class HistoryEntry(NamedTuple):
+    """One iteration of the optimizer's trajectory.
+
+    Attributes
+    ----------
+    iteration:
+        1-based simplex iteration number.
+    theta:
+        Best parameter vector at the start of the iteration (a copy).
+    fun:
+        Objective value at ``theta``.
+    """
+
+    iteration: int
+    theta: np.ndarray
+    fun: float
 
 
 @dataclass
@@ -30,8 +48,12 @@ class OptimizeResult:
     message:
         Human-readable termination reason.
     history:
-        Best objective value after each iteration (for convergence
-        diagnostics and tests).
+        Per-iteration trajectory — :class:`HistoryEntry` records of
+        ``(iteration, theta, fun)`` for the best vertex after each
+        simplex ordering. This is the optimizer's ``callback`` stream
+        materialized on the result, so fit-progress reporting (the
+        fitting service's per-iteration log-likelihood trace) needs no
+        side channel.
     """
 
     x: np.ndarray
@@ -40,7 +62,12 @@ class OptimizeResult:
     nit: int
     converged: bool
     message: str
-    history: List[float] = field(default_factory=list)
+    history: List[HistoryEntry] = field(default_factory=list)
+
+    @property
+    def history_fun(self) -> List[float]:
+        """Best objective value after each iteration (convergence curve)."""
+        return [entry.fun for entry in self.history]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -20,12 +20,13 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import time
 import urllib.parse
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from ..exceptions import ServerError
+from ..exceptions import FittingError, ServerError
 from .server import exception_from_wire
 
 __all__ = ["ServingClient"]
@@ -192,6 +193,102 @@ class ServingClient:
         """Percent-encode a model id for a URL path segment, so ids with
         ``/`` or spaces address the same model they predict against."""
         return urllib.parse.quote(str(model_id), safe="")
+
+    # ------------------------------------------------------------ fitting
+    def fit(
+        self,
+        *,
+        model_id: Optional[str] = None,
+        from_model: Optional[str] = None,
+        bundle_path: Optional[Union[str, "object"]] = None,
+        locations: Optional[np.ndarray] = None,
+        z: Optional[np.ndarray] = None,
+        **options: object,
+    ) -> dict:
+        """Submit a fit job (``POST /v1/fit``); returns ``{"job_id", ...}``.
+
+        ``from_model`` refits an already-served model (its bundle
+        supplies data, substrate, and — by default — a warm-start
+        theta); inline ``locations``/``z`` override the bundle's data.
+        Remaining keyword ``options`` are
+        :class:`~repro.fitting.FitJobSpec` fields (``n_starts``,
+        ``seed``, ``maxiter``, ``warm_start``, ``bounds``, ...). On
+        completion the server saves the fit as a bundle and hot-reloads
+        ``model_id`` — poll with :meth:`job` / :meth:`wait_job`.
+        """
+        body: dict = dict(options)
+        if model_id is not None:
+            body["model_id"] = str(model_id)
+        if from_model is not None:
+            body["from_model"] = str(from_model)
+        if bundle_path is not None:
+            body["bundle_path"] = str(bundle_path)
+        if locations is not None:
+            body["locations"] = np.asarray(locations, dtype=np.float64).tolist()
+        if z is not None:
+            body["z"] = np.asarray(z, dtype=np.float64).tolist()
+        return self._request("POST", "/v1/fit", body)
+
+    def job(self, job_id: str, *, trace: bool = True) -> dict:
+        """One fit job's record: status, result, and (with ``trace``,
+        the default) the per-start per-iteration trajectory. Status
+        pollers should pass ``trace=False`` — the trace grows with
+        every iteration."""
+        suffix = "" if trace else "?trace=0"
+        return self._request("GET", f"/v1/jobs/{self._quote(job_id)}{suffix}")
+
+    def jobs(self) -> List[dict]:
+        """State summaries of every fit job on the server."""
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def wait_job(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 600.0,
+        poll: float = 0.1,
+        require_served: bool = True,
+    ) -> dict:
+        """Poll until the job finishes; returns its final record.
+
+        With ``require_served`` (default) a job that targets a serving
+        ``model_id`` is also waited on until the server published its
+        bundle (hot-reload committed), so a following ``predict`` is
+        guaranteed to see the new theta.
+
+        Raises
+        ------
+        FittingError
+            The job ``failed``, its publish step failed, or ``timeout``
+            elapsed first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            # Poll without the trace (it grows per iteration); the full
+            # record is fetched once, after the job settles.
+            record = self.job(job_id, trace=False)
+            status = record.get("status")
+            if status == "failed":
+                raise FittingError(
+                    f"fit job {job_id} failed: {record.get('error')}"
+                )
+            if status == "done":
+                if record.get("serve_error"):
+                    raise FittingError(
+                        f"fit job {job_id} finished but publishing failed: "
+                        f"{record['serve_error']}"
+                    )
+                if (
+                    not require_served
+                    or not record.get("model_id")
+                    or record.get("served")
+                ):
+                    return self.job(job_id)  # now with the full trace
+            if time.monotonic() >= deadline:
+                raise FittingError(
+                    f"fit job {job_id} still {status!r} after {timeout}s"
+                )
+            time.sleep(poll)
 
     def models(self) -> Dict[str, List[str]]:
         """Model ids known to each worker."""

@@ -155,6 +155,14 @@ class ModelRegistry:
         """The shard ``model_id`` is hashed onto (stable across runs)."""
         return _stable_shard(model_id, self.num_shards)
 
+    def path_of(self, model_id: str) -> Optional[Path]:
+        """The bundle path ``model_id`` is registered at, or ``None``
+        for purely in-memory models. The fitting service uses this to
+        point a warm-start refit (:class:`~repro.fitting.FitJobSpec`
+        ``bundle_path``) at a served model's data and theta."""
+        with self._lock:
+            return self._paths.get(model_id)
+
     def has(self, model_id: str) -> bool:
         """True when ``model_id`` can currently be served (warm or loadable)."""
         with self._lock:

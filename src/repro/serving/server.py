@@ -24,6 +24,18 @@ library:
   replacement engine is built off-lock and swapped atomically, so
   in-flight requests finish on the old engine and later requests see
   the new one, with zero failed requests across the swap.
+* **Worker auto-restart**: a worker process that dies (OOM, kill) is
+  respawned on demand with its shard's models re-registered, and the
+  request that observed the death is retried once on the fresh worker —
+  a crash costs latency, not availability.
+* **Fitting service**: the router process hosts a
+  :class:`~repro.fitting.orchestrator.FitOrchestrator`; ``POST
+  /v1/fit`` submits a durable fit job (fresh fit, refit on new
+  observations, or warm-start refit of a served model), ``GET
+  /v1/jobs/<id>`` reports status + the per-iteration log-likelihood
+  trace, and a finished job's bundle is hot-reloaded into the owning
+  worker under its target model id — the full observe → refit → serve
+  loop with zero downtime.
 
 Endpoints
 ---------
@@ -43,6 +55,18 @@ Endpoints
     registered path).
 ``POST /v1/models/<id>/policy``
     Per-model batching knobs: ``{"batch_window"?, "max_batch"?}``.
+``POST /v1/fit``
+    Submit a fit job: ``{"model_id"?, "from_model"?, "bundle_path"?,
+    "locations"?, "z"?, "model"?, "variant"?, "acc"?, "tile_size"?,
+    "maxiter"?, "ftol"?, "xtol"?, "n_starts"?, "seed"?, "x0"?,
+    "bounds"?, "warm_start"?, ...}`` → ``{"job_id", "status",
+    "model_id"}``.
+``GET /v1/jobs``
+    State summaries of every fit job.
+``GET /v1/jobs/<id>``
+    One job's full record: status, timestamps, result, per-start
+    per-iteration ``(iteration, loglik, theta)`` trace, bundle path,
+    and whether it has been published to its serving worker.
 
 Error responses are ``{"error": {"type", "message"}}`` with a status
 code per exception type; :class:`~repro.serving.client.ServingClient`
@@ -55,6 +79,8 @@ import itertools
 import json
 import multiprocessing
 import os
+import shutil
+import tempfile
 import threading
 import urllib.parse
 from functools import partial
@@ -69,6 +95,8 @@ from ..exceptions import (
     BundleError,
     ConfigurationError,
     DeadlineExceededError,
+    FittingError,
+    JobNotFoundError,
     ModelNotFoundError,
     ReproError,
     ServerError,
@@ -77,10 +105,15 @@ from ..exceptions import (
     ServingError,
     ShapeError,
 )
+from ..fitting.jobs import FitJobSpec, JobStore
+from ..fitting.orchestrator import FitOrchestrator
+from ..utils.logging import get_logger
 from .registry import ModelRegistry, _stable_shard
 from .service import PredictionService
 
 __all__ = ["ServingServer", "status_for_exception", "exception_from_wire"]
+
+logger = get_logger(__name__)
 
 #: Exceptions allowed to cross the worker pipe / HTTP boundary by name.
 _WIRE_EXCEPTIONS: Dict[str, type] = {
@@ -89,6 +122,8 @@ _WIRE_EXCEPTIONS: Dict[str, type] = {
         BundleError,
         ConfigurationError,
         DeadlineExceededError,
+        FittingError,
+        JobNotFoundError,
         ModelNotFoundError,
         ReproError,
         ServerError,
@@ -104,11 +139,13 @@ _WIRE_EXCEPTIONS: Dict[str, type] = {
 
 _STATUS_BY_EXCEPTION: Tuple[Tuple[type, int], ...] = (
     (ModelNotFoundError, 404),
+    (JobNotFoundError, 404),
     (ServiceOverloadedError, 429),
     (DeadlineExceededError, 504),
     (ServiceClosedError, 503),
     (BundleError, 400),
     (ConfigurationError, 400),
+    (FittingError, 400),
     (ShapeError, 400),
     (ServerError, 502),
     (ValueError, 400),
@@ -152,6 +189,7 @@ def _worker_main(conn, config: dict) -> None:
         registry = ModelRegistry(**config.get("registry", {}))
         for model_id, path in config.get("models", {}).items():
             registry.register(model_id, path)
+        policies = config.get("policies", {})
         loop = asyncio.get_running_loop()
         stop_event = asyncio.Event()
         send_lock = threading.Lock()
@@ -164,6 +202,11 @@ def _worker_main(conn, config: dict) -> None:
                     loop.call_soon_threadsafe(stop_event.set)
 
         async with PredictionService(registry, **config.get("service", {})) as service:
+            # Reinstall per-model policies on (re)spawn — the router's
+            # map is the source of truth, so a worker crash cannot
+            # silently revert a model to default batching.
+            for model_id, policy in policies.items():
+                service.set_policy(model_id, **policy)
 
             async def handle(op: str, req_id: int, payload: dict) -> None:
                 try:
@@ -436,6 +479,22 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, {"models": server.models()})
             elif self.path == "/v1/metrics":
                 self._reply(200, server.metrics())
+            elif self.path.startswith("/v1/jobs"):
+                split = urllib.parse.urlsplit(self.path)
+                parts = [urllib.parse.unquote(p) for p in split.path.split("/") if p]
+                # Exact segment match: '/v1/jobsx' must 404, not list jobs.
+                if parts[:2] != ["v1", "jobs"]:
+                    self._reply_no_route()
+                elif len(parts) == 2:
+                    self._reply(200, {"jobs": server.jobs_request()})
+                elif len(parts) == 3:
+                    query = urllib.parse.parse_qs(split.query)
+                    include_trace = query.get("trace", ["1"])[0] not in ("0", "false")
+                    self._reply(
+                        200, server.job_request(parts[2], include_trace=include_trace)
+                    )
+                else:
+                    self._reply_no_route()
             else:
                 self._reply_no_route()
         except ConnectionError:  # client went away mid-reply: drop quietly
@@ -449,6 +508,9 @@ class _Handler(BaseHTTPRequestHandler):
             body = self._body()
             if self.path == "/v1/predict":
                 self._reply(200, server.predict_request(body))
+                return
+            if self.path == "/v1/fit":
+                self._reply(200, server.fit_request(body))
                 return
             # Split on raw '/', then decode each segment: a model id with
             # an encoded '/' (%2F) stays one segment and routes correctly.
@@ -508,6 +570,29 @@ class ServingServer:
     request_timeout:
         Seconds the router waits for a worker's answer before failing
         the HTTP request with :class:`ServerError`.
+    enable_fitting:
+        Mount the fitting service (``POST /v1/fit`` + ``GET
+        /v1/jobs``). On by default; off makes those routes fail with
+        :class:`ConfigurationError`.
+    jobs_dir:
+        Directory the fit-job ledger (:class:`~repro.fitting.JobStore`)
+        lives in. Jobs in it are durable: a restarted server resumes
+        interrupted fits from their checkpoints, and published refit
+        bundles keep serving across restarts. Default: a fresh
+        temporary directory, removed at :meth:`stop` — refit bundles
+        published from it are rolled back to each model's last
+        externally-registered bundle on the next start. Pass a real
+        path for durability.
+    fit_options:
+        Keyword dict forwarded to the
+        :class:`~repro.fitting.FitOrchestrator` (``max_workers``,
+        ``checkpoint_every``, ``max_restarts``, ``start_method``).
+        Validated here, at construction, like the other option dicts.
+    max_worker_restarts:
+        Times the router respawns a *serving* worker process that died
+        (per worker) before ``/healthz`` degrades permanently. The
+        request that observed the death is retried once on the fresh
+        worker.
 
     Examples
     --------
@@ -527,6 +612,10 @@ class ServingServer:
         service_options: Optional[dict] = None,
         start_method: Optional[str] = None,
         request_timeout: float = 120.0,
+        enable_fitting: bool = True,
+        jobs_dir: Optional[Union[str, Path]] = None,
+        fit_options: Optional[dict] = None,
+        max_worker_restarts: int = 2,
     ) -> None:
         cfg = get_config()
         self.num_workers = cfg.serving_workers if num_workers is None else int(num_workers)
@@ -535,6 +624,10 @@ class ServingServer:
         if request_timeout <= 0:
             raise ConfigurationError(
                 f"request_timeout must be > 0, got {request_timeout}"
+            )
+        if max_worker_restarts < 0:
+            raise ConfigurationError(
+                f"max_worker_restarts must be >= 0, got {max_worker_restarts}"
             )
         self.host = host
         self._requested_port = int(port)
@@ -545,7 +638,18 @@ class ServingServer:
         # knobs, and a worker is the wrong place to discover a typo.
         with ModelRegistry(**self.registry_options) as probe:
             PredictionService(probe, **self.service_options)
+        self.enable_fitting = bool(enable_fitting)
+        self.fit_options = FitOrchestrator.validate_options(fit_options)
+        self._jobs_dir = None if jobs_dir is None else Path(jobs_dir)
+        self._jobs_dir_owned = False
+        self._fit_store: Optional[JobStore] = None
+        self._orchestrator: Optional[FitOrchestrator] = None
         self._models = {str(mid): str(Path(p)) for mid, p in (models or {}).items()}
+        # Last path per model registered from *outside* an ephemeral
+        # jobs_dir — the rollback target when stop() deletes the ledger
+        # a refit bundle was published from.
+        self._external_paths = dict(self._models)
+        self._policies: Dict[str, dict] = {}  # runtime-set, survives respawns
         if start_method is None:
             start_method = os.environ.get("REPRO_SERVING_START_METHOD")
         if start_method is None:
@@ -556,24 +660,40 @@ class ServingServer:
         self._http: Optional[_Server] = None
         self._http_thread: Optional[threading.Thread] = None
         self._started = False
+        self.max_worker_restarts = int(max_worker_restarts)
+        self.n_worker_restarts = 0
+        self._restarts_by_worker: Dict[int, int] = {}
+        self._respawn_lock = threading.Lock()
 
     # ------------------------------------------------------------- lifecycle
+    def _worker_config(self, worker_id: int) -> dict:
+        """The spawn-time config of one worker: its shard's models plus
+        the option dicts. Also what a *respawned* worker receives, so
+        models registered at runtime survive a worker crash."""
+        models = {
+            mid: path
+            for mid, path in self._models.items()
+            if self.worker_for(mid) == worker_id
+        }
+        return {
+            "models": models,
+            "policies": {
+                mid: policy
+                for mid, policy in self._policies.items()
+                if self.worker_for(mid) == worker_id
+            },
+            "registry": self.registry_options,
+            "service": self.service_options,
+        }
+
     def start(self, *, ready_timeout: float = 60.0) -> "ServingServer":
         """Spawn workers, wait for their handshakes, and bind the HTTP port."""
         if self._started:
             return self
         for worker_id in range(self.num_workers):
-            models = {
-                mid: path
-                for mid, path in self._models.items()
-                if self.worker_for(mid) == worker_id
-            }
-            config = {
-                "models": models,
-                "registry": self.registry_options,
-                "service": self.service_options,
-            }
-            self._workers.append(_WorkerHandle(self._ctx, worker_id, config))
+            self._workers.append(
+                _WorkerHandle(self._ctx, worker_id, self._worker_config(worker_id))
+            )
         for handle in self._workers:
             ready = handle.ready.wait(ready_timeout)
             if not ready or not handle.alive:
@@ -584,16 +704,30 @@ class ServingServer:
                     + ("died during startup" if ready else
                        f"failed to start within {ready_timeout}s")
                 )
+        if self.enable_fitting:
+            if self._jobs_dir is None:
+                self._jobs_dir = Path(tempfile.mkdtemp(prefix="repro-fit-jobs-"))
+                self._jobs_dir_owned = True
+            self._fit_store = JobStore(self._jobs_dir)
+            self._orchestrator = FitOrchestrator(
+                self._fit_store,
+                on_complete=self._serve_fit_result,
+                **self.fit_options,
+            ).start()
         self._http = _Server((self.host, self._requested_port), _Handler, self)
         self._http_thread = threading.Thread(
             target=self._http.serve_forever, name="repro-serving-http", daemon=True
         )
         self._http_thread.start()
+        self._restarts_by_worker = {}
+        self.n_worker_restarts = 0
         self._started = True
         return self
 
     def stop(self) -> None:
-        """Stop the HTTP listener, then every worker process (idempotent)."""
+        """Stop the HTTP listener, the fit orchestrator, then every
+        worker process (idempotent)."""
+        self._started = False
         if self._http is not None:
             self._http.shutdown()
             self._http.server_close()
@@ -601,10 +735,30 @@ class ServingServer:
         if self._http_thread is not None:
             self._http_thread.join(10.0)
             self._http_thread = None
+        if self._orchestrator is not None:
+            self._orchestrator.stop()
+            self._orchestrator = None
+            self._fit_store = None
+        if self._jobs_dir_owned and self._jobs_dir is not None:
+            # The ephemeral ledger is about to vanish — models whose
+            # registered path points into it (refits published while
+            # running) must not survive into the next start() as paths
+            # to nowhere. Durable deployments pass jobs_dir= and keep
+            # their refit bundles across restarts.
+            doomed = str(self._jobs_dir)
+            for mid, path in list(self._models.items()):
+                if str(path).startswith(doomed):
+                    external = self._external_paths.get(mid)
+                    if external is None:
+                        del self._models[mid]
+                    else:
+                        self._models[mid] = external
+            shutil.rmtree(self._jobs_dir, ignore_errors=True)
+            self._jobs_dir = None
+            self._jobs_dir_owned = False
         workers, self._workers = self._workers, []
         for handle in workers:
             handle.stop()
-        self._started = False
 
     def __enter__(self) -> "ServingServer":
         return self.start()
@@ -622,6 +776,57 @@ class ServingServer:
             raise ServiceClosedError("server is not running (use start() or 'with')")
         return self._workers[self.worker_for(model_id)]
 
+    def _respawn(self, worker_id: int, *, ready_timeout: float = 60.0) -> _WorkerHandle:
+        """Replace a dead worker process with a fresh one (same shard).
+
+        The new worker re-registers every model currently sharded onto
+        it (including ones registered after startup — the router's map
+        is the source of truth), so it rehydrates engines from bundles
+        on demand. Serialized by a lock: concurrent requests that all
+        observed the same death trigger exactly one respawn.
+        """
+        with self._respawn_lock:
+            handle = self._workers[worker_id]
+            if handle.alive:
+                return handle  # another thread already respawned it
+            if not self._started:
+                raise ServerError(f"worker {worker_id} is not running")
+            used = self._restarts_by_worker.get(worker_id, 0)
+            if used >= self.max_worker_restarts:
+                raise ServerError(
+                    f"worker {worker_id} died and exhausted its "
+                    f"{self.max_worker_restarts} restart(s)"
+                )
+            logger.warning(
+                "serving worker %d died; respawning (restart %d/%d)",
+                worker_id, used + 1, self.max_worker_restarts,
+            )
+            fresh = _WorkerHandle(self._ctx, worker_id, self._worker_config(worker_id))
+            if not fresh.ready.wait(ready_timeout) or not fresh.alive:
+                fresh.stop()
+                raise ServerError(f"worker {worker_id} failed to restart")
+            handle.stop(timeout=0.1)  # reap the corpse, fail its stragglers
+            self._workers[worker_id] = fresh
+            self._restarts_by_worker[worker_id] = used + 1
+            self.n_worker_restarts += 1
+            return fresh
+
+    def _request(self, model_id: str, op: str, payload: dict):
+        """One worker op with crash recovery: when the owning worker is
+        found dead — before the send or while the request was in flight
+        — it is respawned and the request retried exactly once. Typed
+        per-request failures and timeouts pass through untouched (a hung
+        worker may still be executing; re-running would double-execute).
+        """
+        handle = self._handle(model_id)
+        try:
+            return handle.request(op, payload, timeout=self.request_timeout)
+        except ServerError:
+            if handle.alive or not self._started:
+                raise
+            fresh = self._respawn(self.worker_for(model_id))
+            return fresh.request(op, payload, timeout=self.request_timeout)
+
     # ------------------------------------------------------------ operations
     def predict_request(self, body: dict) -> dict:
         """Route one predict body to its worker; arrays go over the pipe."""
@@ -638,9 +843,7 @@ class ServingServer:
             "deadline": body.get("deadline"),
             "priority": int(body.get("priority", 0)),
         }
-        result = self._handle(model_id).request(
-            "predict", payload, timeout=self.request_timeout
-        )
+        result = self._request(model_id, "predict", payload)
         return {
             "model_id": model_id,
             "prediction": np.asarray(result).tolist(),
@@ -652,41 +855,146 @@ class ServingServer:
             path = str(body["path"])
         except KeyError as exc:
             raise ValueError(f"register body is missing required key {exc}") from None
-        result = self._handle(model_id).request(
-            "register", {"model_id": model_id, "path": path}, timeout=self.request_timeout
-        )
+        result = self._request(model_id, "register", {"model_id": model_id, "path": path})
         # Commit to the router's map only after the worker accepted, so a
         # failed registration never survives into the next start().
-        self._models[model_id] = path
+        self._commit_model_path(model_id, path)
         result["worker"] = self.worker_for(model_id)
         return result
 
     def reload_request(self, model_id: str, body: dict) -> dict:
         path = body.get("path")
-        result = self._handle(model_id).request(
-            "reload",
-            {"model_id": model_id, "path": path},
-            timeout=self.request_timeout,
-        )
+        result = self._request(model_id, "reload", {"model_id": model_id, "path": path})
         # Same commit-on-success rule as the worker's registry: a failed
         # reload keeps the last good path for future restarts.
         if path is not None:
-            self._models[model_id] = str(path)
+            self._commit_model_path(model_id, str(path))
         result["worker"] = self.worker_for(model_id)
         return result
 
-    def policy_request(self, model_id: str, body: dict) -> dict:
-        result = self._handle(model_id).request(
-            "policy",
-            {
-                "model_id": model_id,
-                "batch_window": body.get("batch_window"),
-                "max_batch": body.get("max_batch"),
-            },
-            timeout=self.request_timeout,
+    def _commit_model_path(self, model_id: str, path: str) -> None:
+        """Record a successfully registered/reloaded bundle path, also
+        remembering it as the rollback target unless it lives inside an
+        ephemeral jobs_dir that :meth:`stop` will delete."""
+        self._models[model_id] = path
+        ephemeral = (
+            self._jobs_dir_owned
+            and self._jobs_dir is not None
+            and path.startswith(str(self._jobs_dir))
         )
+        if not ephemeral:
+            self._external_paths[model_id] = path
+
+    def policy_request(self, model_id: str, body: dict) -> dict:
+        policy = {
+            "batch_window": body.get("batch_window"),
+            "max_batch": body.get("max_batch"),
+        }
+        result = self._request(model_id, "policy", dict(policy, model_id=model_id))
+        # Commit-on-success so a respawned worker gets the policy back;
+        # merge per knob, matching PredictionService.set_policy.
+        previous = self._policies.get(model_id, {})
+        self._policies[model_id] = {
+            knob: previous.get(knob) if value is None else value
+            for knob, value in policy.items()
+        }
         result["worker"] = self.worker_for(model_id)
         return result
+
+    # ----------------------------------------------------------- fit service
+    def _check_fitting(self) -> FitOrchestrator:
+        if not self._started:
+            raise ServiceClosedError("server is not running (use start() or 'with')")
+        if not self.enable_fitting or self._orchestrator is None:
+            raise ConfigurationError("the fitting service is disabled on this server")
+        return self._orchestrator
+
+    def fit_request(self, body: dict) -> dict:
+        """Submit a fit job from its HTTP body; returns immediately.
+
+        ``from_model`` resolves an already-served model id to its
+        registered bundle — the refit shape: its data (unless new
+        ``locations``/``z`` are inline), its substrate, and (by
+        default) a warm start from its fitted theta. The job's
+        ``model_id`` defaults to ``from_model``, so the finished fit
+        hot-reloads the same served id with zero downtime.
+        """
+        orchestrator = self._check_fitting()
+        body = dict(body)
+        from_model = body.pop("from_model", None)
+        bundle_path = body.pop("bundle_path", None)
+        if from_model is not None:
+            registered = self._models.get(str(from_model))
+            if registered is None:
+                raise ModelNotFoundError(
+                    f"model {from_model!r} is not registered on this server"
+                )
+            if bundle_path is not None:
+                raise FittingError("pass either from_model or bundle_path, not both")
+            bundle_path = registered
+            body.setdefault("model_id", str(from_model))
+        locations = body.pop("locations", None)
+        z = body.pop("z", None)
+        known = {
+            "model_id", "model", "metric", "variant", "acc", "tile_size",
+            "compression_method", "use_morton", "maxiter", "ftol", "xtol",
+            "n_starts", "seed", "x0", "bounds", "warm_start",
+            "include_factor", "include_distance_cache",
+        }
+        unknown = sorted(set(body) - known)
+        if unknown:
+            raise FittingError(f"unknown fit request fields {unknown}")
+        model_spec = body.pop("model", None)
+        spec = FitJobSpec(
+            locations=None if locations is None else np.asarray(locations, dtype=np.float64),
+            z=None if z is None else np.asarray(z, dtype=np.float64),
+            bundle_path=None if bundle_path is None else str(bundle_path),
+            model_spec=model_spec,
+            warm_start=bool(body.pop("warm_start", bundle_path is not None)),
+            **body,
+        )
+        job_id = orchestrator.submit(spec)
+        return {"job_id": job_id, "status": "queued", "model_id": spec.model_id}
+
+    def job_request(self, job_id: str, *, include_trace: bool = True) -> dict:
+        """One job's record; ``include_trace=False`` skips the (growing)
+        per-iteration trace — what status pollers should use."""
+        self._check_fitting()
+        return self._fit_store.record(job_id, include_trace=include_trace)
+
+    def jobs_request(self) -> List[dict]:
+        """State summaries of every job in the ledger."""
+        self._check_fitting()
+        return self._fit_store.list_jobs()
+
+    def _serve_fit_result(self, record: dict) -> None:
+        """Orchestrator ``on_complete`` hook: publish a finished fit.
+
+        Registers the job's bundle under its target model id — or
+        hot-reloads it when the id is already served — then marks the
+        job ``served``. Failures land on the job as ``serve_error``;
+        the fit itself stays ``done`` (its bundle is on disk either
+        way).
+        """
+        job_id = record["job_id"]
+        model_id = record.get("model_id")
+        bundle_path = record.get("bundle_path")
+        if not model_id or bundle_path is None:
+            return
+        store = self._fit_store
+        try:
+            if not self._started:
+                raise ServiceClosedError("server stopped before the fit was published")
+            if model_id in self._models:
+                self.reload_request(model_id, {"path": bundle_path})
+            else:
+                self.register_request(model_id, {"path": bundle_path})
+        except BaseException as exc:  # noqa: BLE001 - recorded on the job
+            if store is not None:
+                store.update(job_id, served=False, serve_error=str(exc))
+            return
+        if store is not None:
+            store.update(job_id, served=True)
 
     def models(self) -> Dict[str, List[str]]:
         """Model ids known to each live worker, keyed by worker index.
@@ -727,11 +1035,20 @@ class ServingServer:
 
     def health(self) -> dict:
         alive = [handle.alive for handle in self._workers]
-        return {
-            "status": "ok" if self._started and all(alive) else "degraded",
+        healthy = self._started and all(alive)
+        health = {
             "workers": self.num_workers,
             "alive": alive,
+            "worker_restarts": self.n_worker_restarts,
         }
+        if self.enable_fitting and self._orchestrator is not None:
+            fitting = self._orchestrator.running
+            health["fitting"] = fitting
+            # A dead fit scheduler is an outage of the fitting surface:
+            # it must degrade /healthz, not hide behind healthy workers.
+            healthy = healthy and fitting
+        health["status"] = "ok" if healthy else "degraded"
+        return health
 
     # -------------------------------------------------------------- plumbing
     @property

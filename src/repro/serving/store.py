@@ -29,6 +29,7 @@ formats readable without this library.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -46,7 +47,14 @@ from ..linalg.tlr_matrix import TLRMatrix
 from ..mle.prediction_engine import Factor, PredictionEngine
 from ..runtime import Runtime
 
-__all__ = ["ModelBundle", "save_model", "load_model", "bundle_from_fit"]
+__all__ = [
+    "ModelBundle",
+    "save_model",
+    "load_model",
+    "bundle_from_fit",
+    "model_to_spec",
+    "model_from_spec",
+]
 
 #: On-disk format version; bumped on breaking layout changes.
 FORMAT_VERSION = 1
@@ -60,7 +68,9 @@ KERNEL_FAMILIES: Dict[str, type] = {
 }
 
 
-def _model_to_spec(model: CovarianceModel) -> dict:
+def model_to_spec(model: CovarianceModel) -> dict:
+    """The JSON-able description of a covariance model (family + theta +
+    metric + nugget) used by bundle ``meta.json`` and fit-job specs."""
     return {
         "family": type(model).__name__,
         "param_names": list(model.param_names),
@@ -70,7 +80,8 @@ def _model_to_spec(model: CovarianceModel) -> dict:
     }
 
 
-def _model_from_spec(spec: dict) -> CovarianceModel:
+def model_from_spec(spec: dict) -> CovarianceModel:
+    """Rebuild a covariance model from :func:`model_to_spec` output."""
     if not isinstance(spec, dict):
         raise BundleError(f"model spec must be an object, got {type(spec).__name__}")
     family = spec.get("family")
@@ -116,6 +127,13 @@ class ModelBundle:
         (tile/TLR substrates), keyed ``(r0, r1, c0, c1)``.
     full_distances:
         Optional ``(n, n)`` distance matrix (full-block substrate).
+    perm:
+        Optional ``(n,)`` permutation mapping the fit's *original*
+        input row order to the stored (Morton-ordered) rows:
+        ``locations == original_locations[perm]``. Lets a refit align
+        new observations supplied in the original order (the
+        :class:`~repro.fitting.FitJobSpec` inline-``z`` contract) with
+        the stored locations.
     info:
         Free-form scalar metadata (loglik, n_evals, ...) persisted into
         ``meta.json``.
@@ -132,6 +150,7 @@ class ModelBundle:
     factor: Optional[Factor] = None
     distance_blocks: Optional[Dict[Tuple[int, int, int, int], np.ndarray]] = None
     full_distances: Optional[np.ndarray] = None
+    perm: Optional[np.ndarray] = None
     info: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -146,7 +165,15 @@ class ModelBundle:
 
     # ----------------------------------------------------------------- save
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the bundle directory (``meta.json`` + ``arrays.npz``)."""
+        """Write the bundle directory (``meta.json`` + ``arrays.npz``).
+
+        ``arrays.npz`` (the long write — factors are O(n²)) lands
+        first and ``meta.json`` last, so the metadata's existence is
+        the commit marker: a writer killed mid-save leaves a directory
+        that readers — and the fit orchestrator's finalize check —
+        recognize as incomplete rather than a torn bundle that loads
+        half-way.
+        """
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         arrays: Dict[str, np.ndarray] = {"locations": self.locations}
@@ -160,9 +187,11 @@ class ModelBundle:
                 n_dist += 1
         if self.full_distances is not None:
             arrays["full_distances"] = self.full_distances
+        if self.perm is not None:
+            arrays["perm"] = np.asarray(self.perm, dtype=np.int64)
         meta = {
             "format_version": FORMAT_VERSION,
-            "model": _model_to_spec(self.model),
+            "model": model_to_spec(self.model),
             "substrate": {
                 "variant": self.variant,
                 "acc": self.acc,
@@ -178,10 +207,15 @@ class ModelBundle:
             "has_full_distances": self.full_distances is not None,
             "info": dict(self.info),
         }
-        with (path / META_NAME).open("w") as fh:
+        arrays_tmp = path / (ARRAYS_NAME + ".tmp")
+        with arrays_tmp.open("wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(arrays_tmp, path / ARRAYS_NAME)
+        meta_tmp = path / (META_NAME + ".tmp")
+        with meta_tmp.open("w") as fh:
             json.dump(meta, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        np.savez(path / ARRAYS_NAME, **arrays)
+        os.replace(meta_tmp, path / META_NAME)
         return path
 
     def _pack_factor(self, arrays: Dict[str, np.ndarray]) -> Optional[str]:
@@ -241,7 +275,7 @@ class ModelBundle:
                     f"substrate section must be an object, got {type(sub).__name__}"
                 )
             bundle = cls(
-                model=_model_from_spec(meta["model"]),
+                model=model_from_spec(meta["model"]),
                 locations=arrays["locations"],
                 z=arrays.get("z"),
                 variant=sub["variant"],
@@ -263,6 +297,7 @@ class ModelBundle:
         }
         bundle.distance_blocks = blocks or None
         bundle.full_distances = arrays.get("full_distances")
+        bundle.perm = arrays.get("perm")
         return bundle
 
     @staticmethod
@@ -374,6 +409,13 @@ def bundle_from_fit(
     prediction and pays no first-request factorization.
     ``include_distance_cache`` additionally snapshots the fit's distance
     cache (tile/TLR blocks, or the full-block distance matrix).
+
+    The fit's optimizer settings (:attr:`FitResult.options` — resolved
+    seed, ``n_starts``, tolerances, bounds, starting point) are
+    persisted under ``info["fit"]`` in ``meta.json``, so the served
+    model's fit is reproducible from the bundle alone: rebuild an
+    estimator from the bundle's data and substrate, replay ``fit`` with
+    ``info["fit"]``'s settings, and the same theta comes back.
     """
     ev = estimator.evaluator
     model = estimator.model.with_theta(fit.theta)
@@ -398,9 +440,12 @@ def bundle_from_fit(
         factor=factor,
         distance_blocks=distance_blocks,
         full_distances=full_distances,
+        perm=estimator._perm,
         info={
             "loglik": float(fit.loglik),
             "n_evals": int(fit.n_evals),
             "time_total": float(fit.time_total),
+            "converged": bool(fit.optimizer.converged),
+            "fit": dict(getattr(fit, "options", {}) or {}),
         },
     )

@@ -1,0 +1,270 @@
+"""JobStore: spec round-trips, state machine, and crash recovery."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import generate_irregular_grid, sample_gaussian_field
+from repro.exceptions import FittingError, JobNotFoundError
+from repro.fitting.checkpoint import save_state
+from repro.fitting.jobs import FitJobSpec, JobStore, merge_start_results
+from repro.kernels import MaternCovariance
+from repro.optim.neldermead import SimplexState, multistart_points
+
+
+@pytest.fixture(scope="module")
+def data():
+    locs = generate_irregular_grid(64, seed=0)
+    z = sample_gaussian_field(locs, MaternCovariance(1.0, 0.1, 0.5), seed=1)
+    return locs, z
+
+
+class TestFitJobSpec:
+    def test_round_trip_with_inline_arrays(self, data, tmp_path):
+        locs, z = data
+        spec = FitJobSpec(
+            locations=locs,
+            z=z,
+            variant="full-tile",
+            tile_size=16,
+            n_starts=3,
+            seed=11,
+            maxiter=50,
+            bounds={"lower": [0.01, 0.001, 0.1], "upper": [10.0, 2.0, 4.0]},
+            model_id="m1",
+        )
+        spec.save(tmp_path)
+        loaded = FitJobSpec.load(tmp_path)
+        np.testing.assert_array_equal(loaded.locations, locs)
+        np.testing.assert_array_equal(loaded.z, z)
+        assert loaded.variant == "full-tile"
+        assert loaded.tile_size == 16
+        assert loaded.n_starts == 3 and loaded.seed == 11
+        assert loaded.bounds == spec.bounds
+        assert loaded.model_id == "m1"
+
+    def test_round_trip_with_bundle_reference(self, data, tmp_path):
+        locs, z = data
+        from repro.serving import ModelBundle
+
+        model = MaternCovariance(1.3, 0.2, 0.7)
+        bundle_path = ModelBundle(
+            model=model, locations=locs, z=z, variant="full-block"
+        ).save(tmp_path / "b.bundle")
+        spec = FitJobSpec(bundle_path=str(bundle_path), warm_start=True, maxiter=30)
+        spec.save(tmp_path / "job")
+        loaded = FitJobSpec.load(tmp_path / "job")
+        assert loaded.locations is None and loaded.z is None
+        resolved = loaded.resolve()
+        # Data and model come from the bundle; warm start = bundle theta.
+        assert resolved.estimator.locations.shape == locs.shape
+        np.testing.assert_array_equal(resolved.x0, model.theta)
+        np.testing.assert_array_equal(resolved.starts[0], model.theta)
+
+    def test_resolution_matches_in_process_fit_inputs(self, data):
+        """The spec's resolved bounds / x0 / starts are exactly what
+        MLEstimator.fit would use — the precondition for parallel
+        multistart parity."""
+        from repro.mle import MLEstimator
+        from repro.optim.bounds import empirical_start
+
+        locs, z = data
+        spec = FitJobSpec(locations=locs, z=z, n_starts=4, seed=13)
+        resolved = spec.resolve()
+        est = MLEstimator(locs, z)
+        lower, upper = est.default_bounds()
+        np.testing.assert_array_equal(resolved.lower, lower)
+        np.testing.assert_array_equal(resolved.upper, upper)
+        np.testing.assert_array_equal(
+            resolved.x0, empirical_start(est.z, lower, upper)
+        )
+        expected = multistart_points(
+            lower, upper, n_starts=4, x0=resolved.x0, seed=13
+        )
+        assert len(resolved.starts) == 4
+        for a, b in zip(resolved.starts, expected):
+            np.testing.assert_array_equal(a, b)
+
+    def test_refit_z_in_original_order_is_realigned_by_the_bundle_perm(
+        self, tmp_path
+    ):
+        """Regression: 'same stations, new measurements' with unsorted
+        original locations — inline z arrives in the user's original row
+        order, the bundle's locations are Morton-permuted, and the
+        persisted permutation must realign them. Without it the MLE
+        would silently fit shuffled (location, value) pairs."""
+        from repro.mle import MLEstimator
+
+        rng = np.random.default_rng(3)
+        locs = np.ascontiguousarray(rng.random((64, 2)))  # NOT pre-sorted
+        model = MaternCovariance(1.0, 0.1, 0.5)
+        z1 = sample_gaussian_field(locs, model, seed=1)
+        est = MLEstimator(locs, z1, variant="full-block")
+        assert est._perm is not None and not np.array_equal(
+            est._perm, np.arange(64)
+        ), "test needs a non-identity Morton permutation"
+        fit = est.fit(maxiter=15)
+        bundle_path = est.save_fit(fit, tmp_path / "b.bundle")
+
+        z2 = sample_gaussian_field(locs, MaternCovariance(1.5, 0.2, 0.8), seed=9)
+        resolved = FitJobSpec(bundle_path=str(bundle_path), z=z2).resolve()
+        # The resolved estimator pairs each stored location with the new
+        # measurement taken at that station.
+        np.testing.assert_array_equal(resolved.estimator.z, z2[est._perm])
+        # End-to-end: same theta as fitting (locs, z2) directly.
+        ref = MLEstimator(locs, z2, variant="full-block").fit(maxiter=25)
+        job_fit = resolved.estimator.fit(maxiter=25)
+        np.testing.assert_array_equal(job_fit.theta, ref.theta)
+
+        with pytest.raises(FittingError):
+            FitJobSpec(bundle_path=str(bundle_path), z=z2[:10]).resolve()
+
+        # Chained refits: the refit bundle must persist the COMPOSED
+        # original→stored permutation, so a second-generation refit
+        # still accepts z in the original station order.
+        resolved2 = FitJobSpec(bundle_path=str(bundle_path), z=z2).resolve()
+        np.testing.assert_array_equal(resolved2.estimator._perm, est._perm)
+
+    def test_seed_pinned_at_submit_time(self, data, tmp_path):
+        """A seed-less spec must capture the submitter's configured
+        rng_seed in spec.json — workers (possibly spawned with default
+        config, or run by a restarted orchestrator) regenerate the same
+        start list."""
+        from repro.config import use_config
+
+        locs, z = data
+        store = JobStore(tmp_path)
+        with use_config(rng_seed=777):
+            job = store.create(FitJobSpec(locations=locs, z=z, n_starts=3))
+        loaded = store.spec(job)
+        assert loaded.seed == 777
+        resolved = loaded.resolve()  # default config: must still use 777
+        assert resolved.seed == 777
+
+    def test_validation_errors(self, data):
+        locs, z = data
+        with pytest.raises(FittingError):
+            FitJobSpec()  # no data at all
+        with pytest.raises(FittingError):
+            FitJobSpec(locations=locs, z=z[:10])  # length mismatch
+        with pytest.raises(FittingError):
+            FitJobSpec(locations=locs)  # locations without z
+        with pytest.raises(FittingError):
+            FitJobSpec(locations=locs, z=z, warm_start=True)  # no theta source
+        with pytest.raises(FittingError):
+            FitJobSpec(locations=locs, z=z, n_starts=0)
+        with pytest.raises(FittingError):
+            FitJobSpec(locations=locs, z=z, maxiter=0)
+        with pytest.raises(FittingError):
+            FitJobSpec(locations=locs, z=z, bounds={"lower": [0.1]})
+        with pytest.raises(FittingError):
+            FitJobSpec(locations=locs, z=np.stack([z, z], axis=1))  # 2-D z
+
+
+class TestMergeRule:
+    def test_best_fun_wins_ties_keep_earliest(self):
+        results = [
+            {"x": [1.0], "fun": 2.0, "nfev": 10, "nit": 5, "converged": True, "message": "a", "elapsed": 0.1},
+            {"x": [2.0], "fun": 1.0, "nfev": 20, "nit": 6, "converged": False, "message": "b", "elapsed": 0.2},
+            {"x": [3.0], "fun": 1.0, "nfev": 30, "nit": 7, "converged": True, "message": "c", "elapsed": 0.3},
+        ]
+        merged = merge_start_results(results)
+        assert merged["best_start"] == 1  # strict <: the tie keeps index 1
+        assert merged["theta"] == [2.0]
+        assert merged["nfev"] == 60 and merged["nit"] == 18
+        assert merged["loglik"] == -1.0
+
+    def test_incomplete_results_rejected(self):
+        with pytest.raises(FittingError):
+            merge_start_results([None])
+
+
+class TestJobStore:
+    def _spec(self, data):
+        locs, z = data
+        return FitJobSpec(locations=locs, z=z, n_starts=2, maxiter=20)
+
+    def test_create_assigns_sequential_ids_and_queued_state(self, data, tmp_path):
+        store = JobStore(tmp_path)
+        a = store.create(self._spec(data))
+        b = store.create(self._spec(data))
+        assert [a, b] == ["job-000001", "job-000002"]
+        assert store.state(a)["status"] == "queued"
+        assert store.state(a)["n_starts"] == 2
+        assert [s["job_id"] for s in store.list_jobs()] == [a, b]
+
+    def test_ids_continue_after_reopen(self, data, tmp_path):
+        store = JobStore(tmp_path)
+        store.create(self._spec(data))
+        reopened = JobStore(tmp_path)
+        assert reopened.create(self._spec(data)) == "job-000002"
+
+    def test_unknown_job_raises_typed_error(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(JobNotFoundError):
+            store.state("job-999999")
+        with pytest.raises(FittingError):
+            store.update("job-999999", status="done")
+
+    def test_update_rejects_unknown_status(self, data, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.create(self._spec(data))
+        with pytest.raises(FittingError):
+            store.update(job, status="exploded")
+
+    def test_start_artifacts_round_trip(self, data, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.create(self._spec(data))
+        result = {"x": [1.0, 2.0, 3.0], "fun": -5.0, "nfev": 42, "nit": 17,
+                  "converged": True, "message": "ok", "elapsed": 1.5}
+        store.write_start_result(job, 0, result)
+        assert store.read_start_result(job, 0) == result
+        assert store.read_start_result(job, 1) is None
+        store.write_start_error(job, 1, ValueError("boom"))
+        assert store.read_start_error(job, 1) == {"type": "ValueError", "message": "boom"}
+
+    def test_trace_tolerates_a_torn_final_line(self, data, tmp_path):
+        """A worker killed mid-write leaves a partial last line; the
+        trace keeps the complete prefix instead of failing."""
+        store = JobStore(tmp_path)
+        job = store.create(self._spec(data))
+        with store.trace_path(job, 0).open("w") as fh:
+            fh.write(json.dumps({"iteration": 1, "loglik": -3.0, "theta": [1.0]}) + "\n")
+            fh.write('{"iteration": 2, "loglik": -2.')  # torn by the kill
+        trace = store.trace(job)
+        assert [e["iteration"] for e in trace[0]] == [1]
+
+    def test_recover_resets_orphaned_running_jobs(self, data, tmp_path):
+        """Crash recovery: 'running' without an owner goes back to
+        'checkpointed' when there is progress on disk, else 'queued'."""
+        store = JobStore(tmp_path)
+        with_progress = store.create(self._spec(data))
+        without_progress = store.create(self._spec(data))
+        finished = store.create(self._spec(data))
+        store.update(with_progress, status="running")
+        store.update(without_progress, status="running")
+        store.update(finished, status="done")
+        state = SimplexState(
+            simplex=np.zeros((4, 3)), fvals=np.zeros(4), iteration=3, nfev=7,
+            history=[],
+        )
+        save_state(store.checkpoint_path(with_progress, 0), state)
+
+        recovered = JobStore(tmp_path)  # a fresh orchestrator's view
+        reset = recovered.recover()
+        assert sorted(reset) == sorted([with_progress, without_progress])
+        assert recovered.state(with_progress)["status"] == "checkpointed"
+        assert recovered.state(without_progress)["status"] == "queued"
+        assert recovered.state(finished)["status"] == "done"
+
+    def test_record_includes_trace(self, data, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.create(self._spec(data))
+        with store.trace_path(job, 1).open("w") as fh:
+            fh.write(json.dumps({"iteration": 1, "loglik": -1.0, "theta": [1.0]}) + "\n")
+        record = store.record(job)
+        assert record["trace"]["1"][0]["loglik"] == -1.0
+        assert "trace" not in store.record(job, include_trace=False)

@@ -63,8 +63,34 @@ class TestNelderMead:
 
     def test_history_monotone_nonincreasing(self):
         res = nelder_mead(rosenbrock, [0.0, 0.0], [-2, -2], [2, 2], maxiter=200)
-        hist = np.array(res.history)
+        hist = np.array(res.history_fun)
         assert np.all(np.diff(hist) <= 1e-12)
+
+    def test_history_carries_iteration_theta_fun(self):
+        res = nelder_mead(sphere, [0.9, 0.9], [0, 0], [1, 1], maxiter=30)
+        assert len(res.history) == res.nit
+        for k, entry in enumerate(res.history, start=1):
+            assert entry.iteration == k
+            assert entry.theta.shape == (2,)
+            assert entry.fun == sphere(entry.theta)
+        # The last entry is the trajectory's arrival at the returned optimum.
+        assert res.history[-1].fun >= res.fun
+
+    def test_history_matches_callback_stream(self):
+        calls = []
+        res = nelder_mead(
+            rosenbrock,
+            [0.0, 0.0],
+            [-2, -2],
+            [2, 2],
+            maxiter=50,
+            callback=lambda it, x, f: calls.append((it, x.copy(), f)),
+        )
+        assert len(calls) == len(res.history)
+        for (cit, cx, cf), entry in zip(calls, res.history):
+            assert cit == entry.iteration
+            assert cf == entry.fun
+            np.testing.assert_array_equal(cx, entry.theta)
 
     def test_nan_objective_treated_as_worst(self):
         def nan_hole(x):
@@ -116,6 +142,84 @@ class TestNelderMead:
         assert res.fun <= start_val + 1e-12
 
 
+class TestResumableState:
+    """The state/state_callback pair must make any checkpoint a perfect
+    resume point — same final vertex, counters, and history, bit for bit."""
+
+    def _run_full(self, maxiter=250):
+        states = []
+        res = nelder_mead(
+            rosenbrock,
+            [-0.5, 0.5],
+            [-2.0, -2.0],
+            [2.0, 2.0],
+            maxiter=maxiter,
+            ftol=1e-10,
+            xtol=1e-10,
+            state_callback=states.append,
+        )
+        return res, states
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.0, 1.0))
+    def test_property_resume_from_any_checkpoint_is_bit_identical(self, frac):
+        full, states = self._run_full()
+        assert states, "expected at least one emitted state"
+        k = min(len(states) - 1, int(frac * len(states)))
+        resumed = nelder_mead(
+            rosenbrock,
+            None,
+            [-2.0, -2.0],
+            [2.0, 2.0],
+            maxiter=250,
+            ftol=1e-10,
+            xtol=1e-10,
+            state=states[k],
+        )
+        np.testing.assert_array_equal(resumed.x, full.x)
+        assert resumed.fun == full.fun
+        assert resumed.nfev == full.nfev
+        assert resumed.nit == full.nit
+        assert resumed.converged == full.converged
+        assert len(resumed.history) == len(full.history)
+        for a, b in zip(resumed.history, full.history):
+            assert a.iteration == b.iteration and a.fun == b.fun
+            np.testing.assert_array_equal(a.theta, b.theta)
+
+    def test_state_snapshots_own_their_arrays(self):
+        _, states = self._run_full(maxiter=40)
+        frozen = states[0].simplex.copy()
+        # Later iterations must not have mutated the earlier snapshot.
+        np.testing.assert_array_equal(states[0].simplex, frozen)
+        assert states[0].iteration == 1
+        assert [s.iteration for s in states] == list(range(1, len(states) + 1))
+
+    def test_resume_past_maxiter_returns_checkpoint_best(self):
+        _, states = self._run_full(maxiter=30)
+        last = states[-1]
+        res = nelder_mead(
+            rosenbrock, None, [-2.0, -2.0], [2.0, 2.0], maxiter=last.iteration,
+            state=last,
+        )
+        assert res.nit == last.iteration
+        assert res.fun == float(np.min(last.fvals))
+        assert res.nfev == last.nfev
+
+    def test_resume_requires_x0_or_state(self):
+        with pytest.raises(OptimizationError):
+            nelder_mead(sphere, None, [0.0], [1.0])
+
+    def test_bad_state_shape_rejected(self):
+        from repro.optim.neldermead import SimplexState
+
+        state = SimplexState(
+            simplex=np.zeros((3, 2)), fvals=np.zeros(3), iteration=1, nfev=3,
+            history=[],
+        )
+        with pytest.raises(OptimizationError):
+            nelder_mead(sphere, None, [0.0], [1.0], state=state)
+
+
 class TestMultistart:
     def test_finds_global_of_two_basin_function(self):
         # Local minimum near 0.1 (value 0.5), global near 0.8 (value 0).
@@ -139,6 +243,30 @@ class TestMultistart:
     def test_aggregated_counts(self):
         res = multistart_nelder_mead(sphere, [0.0], [1.0], n_starts=3, maxiter=20, seed=0)
         assert res.nfev > 20  # more than one run's worth
+
+    def test_multistart_points_deterministic_and_match_sequential(self):
+        from repro.optim.neldermead import multistart_points
+
+        lo, hi = [1e-3, 1e-3], [2.0, 5.0]
+        pts_a = multistart_points(lo, hi, n_starts=5, x0=[0.5, 0.5], seed=7)
+        pts_b = multistart_points(lo, hi, n_starts=5, x0=[0.5, 0.5], seed=7)
+        assert len(pts_a) == 5
+        np.testing.assert_array_equal(pts_a[0], [0.5, 0.5])
+        for a, b in zip(pts_a, pts_b):
+            np.testing.assert_array_equal(a, b)
+
+        # Running each start independently and merging with the strict-<
+        # rule reproduces the sequential multistart result exactly.
+        seq = multistart_nelder_mead(
+            sphere, lo, hi, n_starts=5, x0=[0.5, 0.5], seed=7, maxiter=60
+        )
+        best = None
+        for start in pts_a:
+            res = nelder_mead(sphere, start, lo, hi, maxiter=60)
+            if best is None or res.fun < best.fun:
+                best = res
+        np.testing.assert_array_equal(best.x, seq.x)
+        assert best.fun == seq.fun
 
 
 class TestBoundsHelpers:

@@ -1,0 +1,164 @@
+"""Worker auto-restart: a crashed serving worker costs latency, not
+availability (the ROADMAP item PR 4 left open).
+
+Isolated from the other serving suites because these tests deliberately
+SIGKILL worker processes — they get their own server.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import generate_irregular_grid, sample_gaussian_field
+from repro.exceptions import ConfigurationError, ServerError
+from repro.kernels import MaternCovariance
+from repro.mle import PredictionEngine
+from repro.serving import ModelBundle, ServingClient, ServingServer
+
+N, NB = 100, 36
+
+
+def _bundle(theta=(1.0, 0.1, 0.5)):
+    locs = generate_irregular_grid(N, seed=0)
+    model = MaternCovariance(*theta)
+    z = sample_gaussian_field(locs, model, seed=1)
+    bundle = ModelBundle(
+        model=model, locations=locs, z=z, variant="full-block", tile_size=NB
+    )
+    bundle.factor = bundle.build_engine().factor()
+    return bundle
+
+
+@pytest.fixture()
+def server(tmp_path):
+    path = _bundle().save(tmp_path / "m.bundle")
+    with ServingServer(
+        {"m": str(path)},
+        num_workers=2,
+        max_worker_restarts=2,
+        enable_fitting=False,
+        service_options={"batch_window": 0.0},
+    ) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def targets():
+    return np.ascontiguousarray(np.random.default_rng(5).random((6, 2)))
+
+
+def _kill_worker(server, model_id):
+    handle = server._workers[server.worker_for(model_id)]
+    os.kill(handle.process.pid, signal.SIGKILL)
+    handle.process.join(10.0)
+    deadline = time.time() + 10.0
+    while handle.alive and time.time() < deadline:
+        time.sleep(0.01)  # the reader thread is flipping the handle dead
+    assert not handle.alive
+    return handle
+
+
+def test_request_after_worker_death_respawns_and_succeeds(server, targets):
+    with ServingClient(server.url) as cli:
+        reference = cli.predict("m", targets)
+        _kill_worker(server, "m")
+        assert cli.health()["status"] == "degraded"
+        # The next request transparently respawns the worker and retries.
+        got = cli.predict("m", targets)
+        np.testing.assert_array_equal(got, reference)
+        health = cli.health()
+        assert health["status"] == "ok"
+        assert health["alive"] == [True, True]
+        assert health["worker_restarts"] == 1
+
+
+def test_in_flight_requests_fail_over_to_the_respawned_worker(server, targets):
+    """Kill the worker under continuous traffic: every request issued
+    across the crash must be answered (retried on the fresh worker),
+    never errored."""
+    import threading
+
+    with ServingClient(server.url) as cli:
+        reference = cli.predict("m", targets)
+
+    answers, failures = [], []
+    stop = threading.Event()
+
+    def hammer():
+        with ServingClient(server.url) as cli:
+            while not stop.is_set():
+                try:
+                    answers.append(cli.predict("m", targets))
+                except Exception as exc:  # noqa: BLE001 - the assertion target
+                    failures.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    try:
+        deadline = time.time() + 30.0
+        while not answers and time.time() < deadline:
+            time.sleep(0.005)  # traffic is flowing before the kill
+        _kill_worker(server, "m")
+        deadline = time.time() + 30.0
+        while server.n_worker_restarts < 1 and time.time() < deadline:
+            time.sleep(0.01)  # some request observed the death and retried
+        time.sleep(0.1)  # a little post-respawn traffic
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+
+    assert not failures, f"requests failed across the crash: {failures[:3]}"
+    assert server.n_worker_restarts >= 1
+    for got in answers:
+        np.testing.assert_array_equal(got, reference)
+
+
+def test_models_registered_after_start_survive_a_respawn(server, targets, tmp_path):
+    late_path = _bundle(theta=(2.0, 0.15, 0.8)).save(tmp_path / "late.bundle")
+    with ServingClient(server.url) as cli:
+        cli.register("late", str(late_path))
+        reference = PredictionEngine.from_bundle(late_path).predict(targets)
+        np.testing.assert_array_equal(cli.predict("late", targets), reference)
+        _kill_worker(server, "late")
+        # The respawned worker re-registers 'late' from the router's map.
+        np.testing.assert_array_equal(cli.predict("late", targets), reference)
+
+
+def test_runtime_policies_survive_a_respawn(server, targets):
+    """Per-model batching policies set after startup are re-installed on
+    the respawned worker (regression: they used to silently revert)."""
+    with ServingClient(server.url) as cli:
+        policy = cli.set_policy("m", batch_window=0.015, max_batch=3)
+        assert policy == {"batch_window": 0.015, "max_batch": 3, "worker": policy["worker"]}
+        _kill_worker(server, "m")
+        cli.predict("m", targets)  # triggers the respawn
+        # Asking the worker for the effective policy (via a no-op
+        # policy update) must return the pre-crash values.
+        restored = cli.set_policy("m")
+        assert restored["batch_window"] == 0.015
+        assert restored["max_batch"] == 3
+
+
+def test_restart_budget_exhausts_into_server_error(server, targets):
+    with ServingClient(server.url) as cli:
+        cli.predict("m", targets)
+        for _ in range(2):  # burn the budget (max_worker_restarts=2)
+            _kill_worker(server, "m")
+            cli.predict("m", targets)
+        _kill_worker(server, "m")
+        with pytest.raises(ServerError, match="exhausted"):
+            cli.predict("m", targets)
+        assert cli.health()["status"] == "degraded"
+
+
+def test_max_worker_restarts_validated(tmp_path):
+    path = _bundle().save(tmp_path / "m.bundle")
+    with pytest.raises(ConfigurationError):
+        ServingServer({"m": str(path)}, max_worker_restarts=-1)
