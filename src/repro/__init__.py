@@ -21,6 +21,9 @@ Estimation for the Prediction of Large-Scale Geostatistics Simulations*
 * :mod:`repro.fitting` — durable fit jobs: checkpoint/resume
   Nelder-Mead, process-parallel multistart orchestration, and
   refit-to-hot-reload integration with the serving layer;
+* :mod:`repro.resilience` — deterministic fault injection, unified
+  retry/deadline policies, and circuit breakers shared by the serving
+  and fitting layers;
 * :mod:`repro.perfmodel` — machine/cluster models and the performance
   estimator standing in for the paper's Intel servers and Shaheen-2;
 * :mod:`repro.experiments` — drivers regenerating every table and figure.
@@ -64,6 +67,16 @@ from .mle import (
 )
 from .optim import nelder_mead
 from .fitting import FitJobSpec, FitOrchestrator, JobStore
+from .resilience import (
+    CircuitBreaker,
+    Deadline,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    arm,
+    disarm,
+    fault_point,
+)
 from .serving import (
     ModelBundle,
     ModelRegistry,
@@ -105,6 +118,14 @@ __all__ = [
     "FitJobSpec",
     "FitOrchestrator",
     "JobStore",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "arm",
+    "disarm",
+    "fault_point",
     "ModelBundle",
     "ModelRegistry",
     "PredictionService",

@@ -136,6 +136,18 @@ class Config:
         event that kills every leg of a job once does not exhaust the
         budget. Restarts resume from the task's last checkpoint, so
         paid iterations are never re-fit from scratch.
+    breaker_threshold:
+        Consecutive infrastructure failures that trip a serving circuit
+        breaker (per model in the service, per worker in the router)
+        from closed to open. Typed per-request errors (bad shapes,
+        unknown models, expired deadlines) do not count.
+    breaker_recovery:
+        Seconds an open circuit breaker waits before moving to
+        half-open and admitting probe traffic.
+    serving_max_inflight:
+        Server-wide cap on concurrently in-flight HTTP requests; beyond
+        it, requests are shed immediately with 503 + ``Retry-After``
+        (``LoadShedError``) instead of queueing without bound.
     """
 
     tile_size: int = 250
@@ -159,6 +171,9 @@ class Config:
     fit_workers: int = 2
     fit_checkpoint_every: int = 5
     fit_max_restarts: int = 2
+    breaker_threshold: int = 5
+    breaker_recovery: float = 2.0
+    serving_max_inflight: int = 128
 
     def __post_init__(self) -> None:
         self.validate()
@@ -229,6 +244,18 @@ class Config:
         if self.fit_max_restarts < 0:
             raise ConfigurationError(
                 f"fit_max_restarts must be >= 0, got {self.fit_max_restarts}"
+            )
+        if self.breaker_threshold < 1:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_recovery <= 0:
+            raise ConfigurationError(
+                f"breaker_recovery must be > 0, got {self.breaker_recovery}"
+            )
+        if self.serving_max_inflight < 1:
+            raise ConfigurationError(
+                f"serving_max_inflight must be >= 1, got {self.serving_max_inflight}"
             )
 
     def resolved_workers(self) -> int:

@@ -71,12 +71,32 @@ class CheckpointError(FittingError):
     """A fit checkpoint file is missing, truncated, or inconsistent."""
 
 
+class InjectedFaultError(ReproError):
+    """A deliberately injected fault (:mod:`repro.resilience.faults`).
+
+    Raised by an armed :class:`~repro.resilience.FaultPlan` rule with
+    action ``"raise"`` — never by production code paths. Seeing this
+    outside a chaos test means a fault plan was left armed.
+    """
+
+
 class ServingError(ReproError):
     """Base class for errors raised by the :mod:`repro.serving` subsystem."""
 
 
 class BundleError(ServingError):
     """A persisted model bundle is missing, malformed, or incompatible."""
+
+
+class BundleCorruptError(BundleError):
+    """A bundle's payload failed its integrity check (torn write, bit rot).
+
+    Raised when ``arrays.npz`` does not match the sha256 checksum
+    recorded in ``meta.json`` (or cannot be parsed at all). The bundle
+    directory is quarantine-renamed to ``*.corrupt`` so retries do not
+    keep re-reading the bad copy; the registry falls back to the
+    model's last-known-good engine generation when one exists.
+    """
 
 
 class ModelNotFoundError(ServingError):
@@ -93,6 +113,33 @@ class ServiceOverloadedError(ServingError):
 
 class DeadlineExceededError(ServingError):
     """A request's deadline expired before the service could execute it."""
+
+
+class CircuitOpenError(ServingError):
+    """A circuit breaker is open and the request was failed fast.
+
+    Carries ``retry_after`` — the seconds until the breaker next admits
+    probe traffic — surfaced over HTTP as a 503 with a ``Retry-After``
+    header. The request was **not** executed.
+    """
+
+    def __init__(self, message: str = "", retry_after: float = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class LoadShedError(ServingError):
+    """A request was shed at admission because the server is saturated.
+
+    Unlike :class:`ServiceOverloadedError` (a per-model bounded queue,
+    HTTP 429), this is the server-wide in-flight cap rejecting work
+    before any model is chosen; it maps to 503 + ``Retry-After`` and the
+    request was **not** executed, so clients may safely retry.
+    """
+
+    def __init__(self, message: str = "", retry_after: float = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ServiceClosedError(ServingError):

@@ -64,6 +64,19 @@ def save_state(path: Union[str, Path], state: SimplexState) -> Path:
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    # Directory fsync so the rename itself survives a host crash — a
+    # replayed journal must not resurrect the previous checkpoint after
+    # the job state already advanced past it.
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return path
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
     return path
 
 

@@ -59,6 +59,26 @@ BUNDLE_DIR = "bundle"
 JOB_STATES = ("queued", "running", "checkpointed", "done", "failed")
 
 
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a rename into it survives a host crash.
+
+    Without this, ``os.replace`` is atomic against *process* death but
+    a crashed host can replay the directory from its journal without
+    the rename — resurrecting the pre-transition job state. Tolerates
+    filesystems that refuse directory fsync (some network mounts).
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _write_json_atomic(path: Path, payload: dict) -> None:
     tmp = path.with_name(path.name + ".tmp")
     with tmp.open("w") as fh:
@@ -67,6 +87,7 @@ def _write_json_atomic(path: Path, payload: dict) -> None:
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
 
 
 def _read_json(path: Path) -> dict:
@@ -604,6 +625,15 @@ class JobStore:
         """
         recovered = []
         with self._lock:
+            # A writer killed mid-write leaves a ``*.tmp`` behind; the
+            # real file (if any) is the last complete version. Sweep
+            # the strays so they can never be mistaken for artifacts.
+            for pattern in ("*/*.tmp", f"*/{STARTS_DIR}/*.tmp"):
+                for stray in self.root.glob(pattern):
+                    try:
+                        stray.unlink()
+                    except OSError:  # pragma: no cover - best effort
+                        pass
             for state in self.list_jobs():
                 if state.get("status") != "running":
                     continue

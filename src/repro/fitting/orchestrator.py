@@ -52,6 +52,8 @@ from ..config import get_config
 from ..exceptions import CheckpointError, FittingError
 from ..optim.neldermead import nelder_mead
 from ..optim.result import OptimizeResult
+from ..resilience.faults import fault_point
+from ..resilience.policy import RetryPolicy
 from ..utils.logging import get_logger
 from ..utils.timer import Stopwatch
 from .checkpoint import Checkpointer
@@ -99,6 +101,10 @@ def _run_start(root: str, job_id: str, start_idx: int, checkpoint_every: int) ->
     """
     store = JobStore(root)
     try:
+        # Chaos hook: a ``fit.leg`` kill rule exercises the abnormal-death
+        # → respawn-from-checkpoint path; the plan's cross-process hit
+        # counters mean the respawned leg sees the next hit and proceeds.
+        fault_point("fit.leg", path=f"{job_id}/{start_idx}")
         spec = store.spec(job_id)
         resolved = spec.resolve()
         estimator = resolved.estimator
@@ -283,6 +289,13 @@ class FitOrchestrator:
         )
         if self.max_restarts < 0:
             raise FittingError(f"max_restarts must be >= 0, got {max_restarts}")
+        # The respawn budget expressed as the unified retry policy: the
+        # first spawn plus ``max_restarts`` retries, consulted by the
+        # reap paths as ``allows(used + 1)``. Backoff stays zero — the
+        # scheduler thread must never sleep while holding the lock.
+        self.restart_policy = RetryPolicy(
+            max_attempts=self.max_restarts + 1, base_delay=0.0, jitter=0.0
+        )
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -514,7 +527,7 @@ class FitOrchestrator:
             # one machine-wide event that kills every leg of a multistart
             # job once does not exhaust it.
             used = self._start_restarts.get(key, 0)
-            if used < self.max_restarts:
+            if self.restart_policy.allows(used + 1):
                 resumable = self.store.has_checkpoint(job_id, idx)
                 logger.warning(
                     "fit job %s start %d died (exitcode %s); respawning %s",
@@ -591,7 +604,7 @@ class FitOrchestrator:
                 # the classic): finalize gets the same restart budget the
                 # start legs do — every paid iteration is on disk.
                 used = self._finalize_restarts.get(job_id, 0)
-                if used < self.max_restarts:
+                if self.restart_policy.allows(used + 1):
                     logger.warning(
                         "fit job %s finalize died (exitcode %s); respawning",
                         job_id, proc.exitcode,

@@ -1,0 +1,46 @@
+"""Resilience primitives: fault injection, retry/deadline policies, breakers.
+
+Long-running MLE and kriging services meet partial failure long before
+they meet FLOP limits: torn bundle writes, killed workers, stragglers,
+overload. This package makes failure handling a *tested subsystem*
+instead of scattered ad-hoc code:
+
+* :mod:`~repro.resilience.faults` — a seeded, deterministic
+  :class:`FaultPlan` with named injection sites threaded through
+  serving, fitting, and the runtime; a no-op when unarmed.
+* :mod:`~repro.resilience.policy` — :class:`RetryPolicy` (jittered
+  exponential backoff, idempotency-aware) and :class:`Deadline`
+  (absolute, propagated from the HTTP edge down to the engine).
+* :mod:`~repro.resilience.breaker` — :class:`CircuitBreaker`
+  (closed/open/half-open, per model and per worker) and
+  :class:`AdmissionGate` (bounded in-flight load shedding).
+"""
+
+from .breaker import AdmissionGate, BreakerPool, CircuitBreaker
+from .faults import (
+    PLAN_ENV,
+    SITES,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    arm,
+    disarm,
+    fault_point,
+)
+from .policy import Deadline, RetryPolicy
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "arm",
+    "disarm",
+    "active_plan",
+    "fault_point",
+    "SITES",
+    "PLAN_ENV",
+    "RetryPolicy",
+    "Deadline",
+    "CircuitBreaker",
+    "AdmissionGate",
+    "BreakerPool",
+]

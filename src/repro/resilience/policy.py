@@ -1,0 +1,239 @@
+"""Unified retry and deadline policies for serving + fitting.
+
+Before this module, three retry/timeout snippets had grown
+independently: the client's retry-once on a stale keep-alive
+connection, the router's retry-once on a dead worker, and the fit
+orchestrator's per-leg restart budget. Each hand-rolled its own
+attempt counting; none shared backoff, jitter, or a notion of "time
+left". :class:`RetryPolicy` and :class:`Deadline` are the shared
+vocabulary they now consult.
+
+Design points:
+
+* **Deterministic jitter.** Backoff delays are jittered to avoid
+  thundering herds, but the jitter derives from a seed (default: the
+  configured ``rng_seed``), so a test run's retry timing — like
+  everything else in this library — replays exactly.
+* **Idempotency awareness.** A policy carries ``retry_on`` exception
+  types but the *caller* decides whether the failed attempt could have
+  had side effects; :meth:`RetryPolicy.should_retry` takes an
+  ``idempotent`` flag so "the request may have executed" can veto a
+  retry regardless of the error type.
+* **Absolute deadlines.** A :class:`Deadline` is a point on the
+  monotonic clock, created once at the edge (the HTTP handler) and
+  passed down; every layer re-derives "seconds remaining" from it, so
+  queueing time in one layer shrinks the budget of the next instead of
+  each layer granting itself a fresh timeout.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional, Tuple, Type
+
+from ..config import get_config
+from ..exceptions import ConfigurationError, DeadlineExceededError
+
+__all__ = ["RetryPolicy", "Deadline"]
+
+
+class Deadline:
+    """An absolute point in monotonic time a piece of work must finish by.
+
+    Examples
+    --------
+    >>> d = Deadline.after(30.0)
+    >>> d.remaining > 29.0
+    True
+    >>> Deadline.after(None) is None
+    True
+    """
+
+    __slots__ = ("t_end",)
+
+    def __init__(self, t_end: float) -> None:
+        self.t_end = float(t_end)
+
+    @classmethod
+    def after(cls, budget: Optional[float]) -> Optional["Deadline"]:
+        """A deadline ``budget`` seconds from now; ``None`` stays ``None``
+        (no deadline), so optional budgets thread through unchanged."""
+        if budget is None:
+            return None
+        return cls(time.monotonic() + float(budget))
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.t_end - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() > self.t_end
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceededError` if already expired."""
+        overdue = time.monotonic() - self.t_end
+        if overdue > 0:
+            raise DeadlineExceededError(
+                f"{what} deadline expired {overdue:.3f}s ago"
+            )
+
+    def clamp(self, timeout: float) -> float:
+        """``timeout`` bounded by the time remaining (floored at 0)."""
+        return max(0.0, min(float(timeout), self.remaining))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(remaining={self.remaining:.3f}s)"
+
+
+class RetryPolicy:
+    """Jittered exponential backoff with a bounded attempt budget.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (1 = no retries).
+    base_delay:
+        Backoff before the first retry, in seconds.
+    multiplier:
+        Exponential growth factor between retries.
+    max_delay:
+        Cap on any single backoff sleep.
+    jitter:
+        Fraction in [0, 1] by which each delay is randomized:
+        ``delay * (1 ± jitter)``, clamped non-negative. ``0`` disables
+        jitter entirely.
+    retry_on:
+        Exception types that are retryable; anything else re-raises
+        immediately.
+    seed:
+        Seed of the deterministic jitter stream (default: configured
+        ``rng_seed``) — two policies with equal settings produce equal
+        delay sequences.
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(max_attempts=3, base_delay=0.1, seed=7)
+    >>> policy.delay(0) == RetryPolicy(max_attempts=3, base_delay=0.1, seed=7).delay(0)
+    True
+    """
+
+    __slots__ = (
+        "max_attempts",
+        "base_delay",
+        "multiplier",
+        "max_delay",
+        "jitter",
+        "retry_on",
+        "seed",
+    )
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 5.0,
+        jitter: float = 0.5,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        seed: Optional[int] = None,
+    ) -> None:
+        if int(max_attempts) < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1, got {max_attempts}")
+        if float(base_delay) < 0:
+            raise ConfigurationError(f"base_delay must be >= 0, got {base_delay}")
+        if float(multiplier) < 1.0:
+            raise ConfigurationError(f"multiplier must be >= 1, got {multiplier}")
+        if float(max_delay) < 0:
+            raise ConfigurationError(f"max_delay must be >= 0, got {max_delay}")
+        if not (0.0 <= float(jitter) <= 1.0):
+            raise ConfigurationError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.multiplier = float(multiplier)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.retry_on = tuple(retry_on)
+        self.seed = get_config().rng_seed if seed is None else int(seed)
+
+    # -------------------------------------------------------------- queries
+    def allows(self, attempt: int) -> bool:
+        """Whether 0-based ``attempt`` is within budget (attempt 0 always is)."""
+        return int(attempt) < self.max_attempts
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the retry that follows 0-based ``attempt``.
+
+        Deterministic: the jitter factor is drawn from a generator
+        seeded by ``(seed, attempt)``, so a given policy configuration
+        yields one fixed delay sequence.
+        """
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** int(attempt))
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        u = random.Random(self.seed * 1_000_003 + int(attempt)).random()
+        return max(0.0, raw * (1.0 + self.jitter * (2.0 * u - 1.0)))
+
+    def should_retry(
+        self,
+        exc: BaseException,
+        attempt: int,
+        *,
+        idempotent: bool = True,
+        deadline: Optional[Deadline] = None,
+    ) -> bool:
+        """Whether the failure of 0-based ``attempt`` warrants a retry.
+
+        A non-idempotent attempt is never retried — the work may have
+        executed even though the caller saw an error (a predict would
+        run twice, a reload would double-swap). An expired deadline
+        likewise vetoes: re-trying work nobody is waiting for just
+        burns an engine.
+        """
+        if not idempotent:
+            return False
+        if not self.allows(int(attempt) + 1):
+            return False
+        if deadline is not None and deadline.expired:
+            return False
+        return isinstance(exc, self.retry_on)
+
+    # ------------------------------------------------------------ execution
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        deadline: Optional[Deadline] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ):
+        """Run ``fn`` under this policy, sleeping the backoff between tries.
+
+        ``sleep`` is injectable so tests capture the exact delays
+        instead of waiting them out.
+        """
+        attempt = 0
+        while True:
+            if deadline is not None:
+                deadline.check("retried call")
+            try:
+                return fn()
+            except self.retry_on as exc:
+                if not self.should_retry(exc, attempt, deadline=deadline):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                pause = self.delay(attempt)
+                if pause > 0.0:
+                    sleep(pause if deadline is None else deadline.clamp(pause))
+                attempt += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, jitter={self.jitter}, "
+            f"seed={self.seed})"
+        )

@@ -26,6 +26,7 @@ from typing import Any, Callable, Optional, Sequence, Tuple
 
 from ..config import get_config
 from ..exceptions import RuntimeEngineError
+from ..resilience.faults import fault_point
 from ..utils.logging import get_logger
 from .graph import DependencyTracker
 from .handle import DataHandle
@@ -251,6 +252,7 @@ class Runtime:
         task.worker = worker
         task.t_start = time.perf_counter()
         try:
+            fault_point("runtime.task", path=task.name)
             task.result = task.execute()
             task.state = TaskState.DONE
         except BaseException as exc:  # noqa: BLE001 - error channel, re-raised in wait_all

@@ -26,10 +26,23 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from ..exceptions import FittingError, ServerError
+from ..exceptions import (
+    CircuitOpenError,
+    FittingError,
+    LoadShedError,
+    ServerError,
+    ServiceOverloadedError,
+)
+from ..resilience.policy import RetryPolicy
 from .server import exception_from_wire
 
 __all__ = ["ServingClient"]
+
+#: Rejections the server produced *without executing* the request —
+#: load shedding at admission, an open circuit breaker, a full model
+#: queue. Retrying them is always safe, even for POSTs whose body was
+#: sent; whether they ARE retried is the retry policy's call.
+_NOT_EXECUTED = (LoadShedError, CircuitOpenError, ServiceOverloadedError)
 
 
 class ServingClient:
@@ -42,6 +55,17 @@ class ServingClient:
         ``host:port`` is accepted too.
     timeout:
         Socket timeout in seconds for each request.
+    retry_policy:
+        A :class:`~repro.resilience.RetryPolicy` applied to rejections
+        the server guarantees it did **not** execute (load shedding,
+        open circuit breakers, full model queues): the client backs off
+        — honoring the server's ``Retry-After`` hint when one came back
+        — and resubmits, up to the policy's attempt budget. ``None``
+        (default) surfaces those rejections to the caller unchanged.
+        Transport-level retries are unaffected: an idle keep-alive
+        connection that turns out dead is always retried exactly once,
+        and nothing else (a timeout, or a failure on a fresh
+        connection) ever is — the request may have executed.
 
     Examples
     --------
@@ -50,7 +74,13 @@ class ServingClient:
     ...     mean = client.predict("m", targets)
     """
 
-    def __init__(self, url: str, *, timeout: float = 120.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 120.0,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         if url.startswith("https://"):
             raise ServerError("ServingClient speaks plain http only")
         if not url.startswith("http://"):
@@ -64,13 +94,46 @@ class ServingClient:
         except ValueError as exc:
             raise ServerError(f"invalid serving URL {url!r}: {exc}") from exc
         self.timeout = float(timeout)
+        self.retry_policy = retry_policy
+        self.n_retries = 0  # response-level (shed/breaker) resubmissions
         self._lock = threading.Lock()
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------- transport
-    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> dict:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body, headers)
+            except _NOT_EXECUTED as exc:
+                policy = self.retry_policy
+                if policy is None or not policy.should_retry(exc, attempt):
+                    raise
+                # The server's Retry-After hint wins over the policy's
+                # backoff curve — it knows when the breaker re-opens.
+                hint = getattr(exc, "retry_after", None)
+                pause = policy.delay(attempt) if hint is None else max(0.0, float(hint))
+                if pause > 0.0:
+                    time.sleep(pause)
+                self.n_retries += 1
+                attempt += 1
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> dict:
         data = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if data is not None else {}
+        headers.update(extra_headers or {})
         with self._lock:
             for attempt in (0, 1):
                 reused = self._conn is not None
@@ -109,10 +172,17 @@ class ServingClient:
             raise ServerError(f"malformed response from server: {exc}") from exc
         if response.status >= 400:
             error = payload.get("error", {}) if isinstance(payload, dict) else {}
-            raise exception_from_wire(
+            exc = exception_from_wire(
                 error.get("type", "ServerError"),
                 error.get("message", f"HTTP {response.status}"),
             )
+            retry_after = error.get("retry_after")
+            if retry_after is None:
+                header = response.getheader("Retry-After")
+                retry_after = None if header is None else float(header)
+            if retry_after is not None and isinstance(exc, _NOT_EXECUTED):
+                exc.retry_after = float(retry_after)
+            raise exc
         return payload
 
     def close_locked(self) -> None:
@@ -144,21 +214,34 @@ class ServingClient:
         z: Optional[np.ndarray] = None,
         deadline: Optional[float] = None,
         priority: int = 0,
+        detail: bool = False,
     ) -> np.ndarray:
         """Conditional mean at ``targets`` — the remote twin of
-        :meth:`~repro.serving.service.PredictionService.predict`."""
+        :meth:`~repro.serving.service.PredictionService.predict`.
+
+        ``deadline`` (seconds) travels as the ``X-Repro-Deadline``
+        header; the server turns it into an absolute deadline at the
+        edge and every layer below inherits the shrinking remainder.
+        With ``detail``, returns ``(prediction, flags)`` where flags
+        carry the server's ``degraded`` bit — true when the answer came
+        from a last-known-good engine generation.
+        """
         body = {
             "model_id": model_id,
             "targets": np.asarray(targets, dtype=np.float64).tolist(),
         }
         if z is not None:
             body["z"] = np.asarray(z, dtype=np.float64).tolist()
-        if deadline is not None:
-            body["deadline"] = float(deadline)
         if priority:
             body["priority"] = int(priority)
-        payload = self._request("POST", "/v1/predict", body)
-        return np.asarray(payload["prediction"], dtype=np.float64)
+        headers = None
+        if deadline is not None:
+            headers = {"X-Repro-Deadline": f"{float(deadline):.6f}"}
+        payload = self._request("POST", "/v1/predict", body, headers)
+        prediction = np.asarray(payload["prediction"], dtype=np.float64)
+        if detail:
+            return prediction, {"degraded": bool(payload.get("degraded", False))}
+        return prediction
 
     def register(self, model_id: str, path: Union[str, "object"]) -> dict:
         """Register a bundle path on the owning worker."""

@@ -29,8 +29,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..config import get_config
-from ..exceptions import ConfigurationError, ModelNotFoundError
+from ..exceptions import BundleCorruptError, ConfigurationError, ModelNotFoundError
 from ..mle.prediction_engine import PredictionEngine
+from ..resilience.faults import fault_point
 from ..runtime import Runtime
 from .store import ModelBundle, load_model
 
@@ -114,12 +115,18 @@ class ModelRegistry:
         self._paths: Dict[str, Path] = {}
         self._bundles: Dict[str, ModelBundle] = {}  # in-memory (unsaved) bundles
         self._engines: "OrderedDict[str, PredictionEngine]" = OrderedDict()
+        # Last-known-good engine per model, held *outside* the LRU so a
+        # bundle that turns corrupt after its engine was evicted can still
+        # be served (degraded) from the previous generation.
+        self._lkg: Dict[str, PredictionEngine] = {}
+        self._degraded: set = set()
         self._runtimes: Dict[int, Runtime] = {}
         self._closed = False
         self.n_loads = 0
         self.n_evictions = 0
         self.n_hits = 0
         self.n_reloads = 0
+        self.n_fallbacks = 0
 
     # ------------------------------------------------------------- register
     def register(self, model_id: str, path: Union[str, Path]) -> "ModelRegistry":
@@ -147,6 +154,8 @@ class ModelRegistry:
             self._check_open()
             self._engines[model_id] = engine
             self._engines.move_to_end(model_id)
+            self._lkg[model_id] = engine
+            self._degraded.discard(model_id)
             self._evict_over_budget()
         return self
 
@@ -213,26 +222,73 @@ class ModelRegistry:
                 bundle = self._bundles.get(model_id)
                 path = self._paths.get(model_id)
                 runtime = self._shard_runtime(model_id)
-            if bundle is None:
-                if path is None:
-                    raise ModelNotFoundError(
-                        f"model {model_id!r} is not registered (or was evicted "
-                        f"with no bundle to rehydrate from)"
-                    )
-                bundle = load_model(path)
-            engine = bundle.build_engine(
-                runtime=runtime,
-                cache_distances=self.cache_distances,
-                parallel_generation=self.parallel_generation,
-                compression_batch=self.compression_batch,
-            )
+            try:
+                if bundle is None:
+                    if path is None:
+                        raise ModelNotFoundError(
+                            f"model {model_id!r} is not registered (or was evicted "
+                            f"with no bundle to rehydrate from)"
+                        )
+                    fault_point("registry.rehydrate")
+                    bundle = load_model(path)
+                engine = bundle.build_engine(
+                    runtime=runtime,
+                    cache_distances=self.cache_distances,
+                    parallel_generation=self.parallel_generation,
+                    compression_batch=self.compression_batch,
+                )
+            except BundleCorruptError:
+                # The persisted bundle is gone (quarantined), but a
+                # previous engine generation may still be in memory —
+                # serve it, flagged degraded, instead of failing hard.
+                fallback = self._install_fallback_locked(model_id)
+                if fallback is None:
+                    raise
+                return fallback
             with self._lock:
                 self._check_open()
                 self._engines[model_id] = engine
                 self._engines.move_to_end(model_id)
+                self._lkg[model_id] = engine
+                self._degraded.discard(model_id)
                 self.n_loads += 1
                 self._evict_over_budget()
                 return engine
+
+    def _install_fallback_locked(self, model_id: str) -> Optional[PredictionEngine]:
+        """Re-install the last-known-good engine as the warm engine,
+        marking the model degraded. ``None`` when no LKG exists."""
+        with self._lock:
+            engine = self._lkg.get(model_id)
+            if engine is None:
+                return None
+            self._engines[model_id] = engine
+            self._engines.move_to_end(model_id)
+            self._degraded.add(model_id)
+            self.n_fallbacks += 1
+            self._evict_over_budget()
+            return engine
+
+    def fallback_engine(self, model_id: str) -> Optional[PredictionEngine]:
+        """The last-known-good engine for ``model_id`` (or ``None``).
+
+        Unlike :meth:`engine` this never touches disk: it is the
+        degraded-serving path used when the primary is broken or a
+        circuit breaker is open.
+        """
+        with self._lock:
+            return self._lkg.get(model_id)
+
+    def is_degraded(self, model_id: str) -> bool:
+        """True while ``model_id`` serves from a fallback generation."""
+        with self._lock:
+            return model_id in self._degraded
+
+    @property
+    def degraded_models(self) -> List[str]:
+        """Model ids currently serving from a fallback generation."""
+        with self._lock:
+            return sorted(self._degraded)
 
     def _shard_runtime(self, model_id: str) -> Optional[Runtime]:
         if self.workers_per_shard is None:
@@ -329,6 +385,8 @@ class ModelRegistry:
                     self._bundles.pop(model_id, None)
                 self._engines[model_id] = engine
                 self._engines.move_to_end(model_id)
+                self._lkg[model_id] = engine
+                self._degraded.discard(model_id)
                 self.n_reloads += 1
                 self._evict_over_budget()
                 return engine
@@ -349,6 +407,8 @@ class ModelRegistry:
                 return
             self._closed = True
             self._engines.clear()
+            self._lkg.clear()
+            self._degraded.clear()
             runtimes = list(self._runtimes.values())
             self._runtimes.clear()
         for rt in runtimes:
@@ -390,6 +450,8 @@ class ModelRegistry:
                 "n_hits": self.n_hits,
                 "n_evictions": self.n_evictions,
                 "n_reloads": self.n_reloads,
+                "n_fallbacks": self.n_fallbacks,
+                "degraded": sorted(self._degraded),
                 "loaded": list(self._engines),
                 "known": self.known_models,
                 "shards": {

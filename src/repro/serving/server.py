@@ -92,11 +92,15 @@ import numpy as np
 
 from ..config import get_config
 from ..exceptions import (
+    BundleCorruptError,
     BundleError,
+    CircuitOpenError,
     ConfigurationError,
     DeadlineExceededError,
     FittingError,
+    InjectedFaultError,
     JobNotFoundError,
+    LoadShedError,
     ModelNotFoundError,
     ReproError,
     ServerError,
@@ -107,6 +111,9 @@ from ..exceptions import (
 )
 from ..fitting.jobs import FitJobSpec, JobStore
 from ..fitting.orchestrator import FitOrchestrator
+from ..resilience.breaker import AdmissionGate, CircuitBreaker
+from ..resilience.faults import fault_point
+from ..resilience.policy import Deadline, RetryPolicy
 from ..utils.logging import get_logger
 from .registry import ModelRegistry, _stable_shard
 from .service import PredictionService
@@ -119,11 +126,15 @@ logger = get_logger(__name__)
 _WIRE_EXCEPTIONS: Dict[str, type] = {
     cls.__name__: cls
     for cls in (
+        BundleCorruptError,
         BundleError,
+        CircuitOpenError,
         ConfigurationError,
         DeadlineExceededError,
         FittingError,
+        InjectedFaultError,
         JobNotFoundError,
+        LoadShedError,
         ModelNotFoundError,
         ReproError,
         ServerError,
@@ -137,15 +148,22 @@ _WIRE_EXCEPTIONS: Dict[str, type] = {
     )
 }
 
+# isinstance-ordered: subclasses must precede their parents
+# (BundleCorruptError is a server-side integrity failure, not the
+# client's malformed request that plain BundleError maps to).
 _STATUS_BY_EXCEPTION: Tuple[Tuple[type, int], ...] = (
     (ModelNotFoundError, 404),
     (JobNotFoundError, 404),
     (ServiceOverloadedError, 429),
     (DeadlineExceededError, 504),
+    (CircuitOpenError, 503),
+    (LoadShedError, 503),
     (ServiceClosedError, 503),
+    (BundleCorruptError, 500),
     (BundleError, 400),
     (ConfigurationError, 400),
     (FittingError, 400),
+    (InjectedFaultError, 500),
     (ShapeError, 400),
     (ServerError, 502),
     (ValueError, 400),
@@ -210,6 +228,7 @@ def _worker_main(conn, config: dict) -> None:
 
             async def handle(op: str, req_id: int, payload: dict) -> None:
                 try:
+                    fault_point("worker.pipe")
                     result = await dispatch(op, payload)
                 except asyncio.CancelledError:
                     raise
@@ -220,13 +239,15 @@ def _worker_main(conn, config: dict) -> None:
 
             async def dispatch(op: str, payload: dict) -> Any:
                 if op == "predict":
-                    return await service.predict(
+                    value, flags = await service.predict(
                         payload["model_id"],
                         payload["targets"],
                         z=payload.get("z"),
                         deadline=payload.get("deadline"),
                         priority=payload.get("priority", 0),
+                        detail=True,
                     )
+                    return {"prediction": value, "degraded": flags["degraded"]}
                 if op == "reload":
                     # Blocking work (disk read + engine build + possible
                     # factorization) stays off the event loop so predicts
@@ -255,6 +276,7 @@ def _worker_main(conn, config: dict) -> None:
                     return {
                         "service": service.metrics.snapshot(),
                         "registry": registry.stats(),
+                        "breakers": service.breaker_states(),
                     }
                 if op == "ping":
                     return "pong"
@@ -313,8 +335,13 @@ class _WorkerHandle:
     what lets its micro-batcher coalesce them.
     """
 
-    def __init__(self, ctx, worker_id: int, config: dict) -> None:
+    def __init__(
+        self, ctx, worker_id: int, config: dict, breaker_options: Optional[dict] = None
+    ) -> None:
         self.worker_id = worker_id
+        # A fresh handle starts with a fresh, closed breaker: respawning
+        # a dead worker resets its transport-failure history.
+        self.breaker = CircuitBreaker(**(breaker_options or {}))
         parent_conn, child_conn = ctx.Pipe()
         config = dict(config, worker_id=worker_id)
         self.process = ctx.Process(
@@ -447,19 +474,29 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return body
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(
+        self, status: int, payload: dict, headers: Optional[Dict[str, str]] = None
+    ) -> None:
         data = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
     def _reply_error(self, exc: BaseException) -> None:
-        self._reply(
-            status_for_exception(exc),
-            {"error": {"type": type(exc).__name__, "message": str(exc)}},
-        )
+        error = {"type": type(exc).__name__, "message": str(exc)}
+        headers = None
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            # Load shedding / open breakers tell clients *when* to come
+            # back — both in the JSON (typed clients) and as the
+            # standard header (generic HTTP clients).
+            error["retry_after"] = float(retry_after)
+            headers = {"Retry-After": f"{max(0.0, float(retry_after)):.3f}"}
+        self._reply(status_for_exception(exc), {"error": error}, headers)
 
     def _reply_no_route(self) -> None:
         # 404, but as ServerError: a routing mistake must not look like a
@@ -476,7 +513,7 @@ class _Handler(BaseHTTPRequestHandler):
             if self.path == "/healthz":
                 self._reply(200, server.health())
             elif self.path == "/v1/models":
-                self._reply(200, {"models": server.models()})
+                self._reply(200, server.models())
             elif self.path == "/v1/metrics":
                 self._reply(200, server.metrics())
             elif self.path.startswith("/v1/jobs"):
@@ -507,7 +544,11 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             body = self._body()
             if self.path == "/v1/predict":
-                self._reply(200, server.predict_request(body))
+                # The deadline header wins over the body field: proxies
+                # can impose a budget without re-encoding the payload.
+                header = self.headers.get("X-Repro-Deadline")
+                budget = float(header) if header is not None else body.get("deadline")
+                self._reply(200, server.predict_request(body, budget=budget))
                 return
             if self.path == "/v1/fit":
                 self._reply(200, server.fit_request(body))
@@ -593,6 +634,12 @@ class ServingServer:
         (per worker) before ``/healthz`` degrades permanently. The
         request that observed the death is retried once on the fresh
         worker.
+    max_inflight:
+        Server-wide cap on concurrently in-flight predict requests
+        (default: configured ``serving_max_inflight``). Requests beyond
+        the cap are shed immediately with 503 + ``Retry-After``
+        (:class:`~repro.exceptions.LoadShedError`) instead of queueing
+        without bound; admin and fit routes are never shed.
 
     Examples
     --------
@@ -616,6 +663,7 @@ class ServingServer:
         jobs_dir: Optional[Union[str, Path]] = None,
         fit_options: Optional[dict] = None,
         max_worker_restarts: int = 2,
+        max_inflight: Optional[int] = None,
     ) -> None:
         cfg = get_config()
         self.num_workers = cfg.serving_workers if num_workers is None else int(num_workers)
@@ -664,6 +712,20 @@ class ServingServer:
         self.n_worker_restarts = 0
         self._restarts_by_worker: Dict[int, int] = {}
         self._respawn_lock = threading.Lock()
+        # Resilience plumbing, resolved against this thread's config now
+        # (handles are later created on HTTP handler threads whose
+        # thread-local config is the default): the admission gate sheds
+        # predict load past the in-flight cap, the per-worker breakers
+        # fail fast on hung workers, and the retry policy is the single
+        # statement of "dead worker → respawn → retry exactly once".
+        self._gate = AdmissionGate(max_inflight=max_inflight)
+        self._breaker_options = {
+            "failure_threshold": cfg.breaker_threshold,
+            "recovery_time": cfg.breaker_recovery,
+        }
+        self._worker_retry = RetryPolicy(
+            max_attempts=2, base_delay=0.0, jitter=0.0, retry_on=(ServerError,)
+        )
 
     # ------------------------------------------------------------- lifecycle
     def _worker_config(self, worker_id: int) -> dict:
@@ -692,7 +754,12 @@ class ServingServer:
             return self
         for worker_id in range(self.num_workers):
             self._workers.append(
-                _WorkerHandle(self._ctx, worker_id, self._worker_config(worker_id))
+                _WorkerHandle(
+                    self._ctx,
+                    worker_id,
+                    self._worker_config(worker_id),
+                    self._breaker_options,
+                )
             )
         for handle in self._workers:
             ready = handle.ready.wait(ready_timeout)
@@ -801,7 +868,9 @@ class ServingServer:
                 "serving worker %d died; respawning (restart %d/%d)",
                 worker_id, used + 1, self.max_worker_restarts,
             )
-            fresh = _WorkerHandle(self._ctx, worker_id, self._worker_config(worker_id))
+            fresh = _WorkerHandle(
+                self._ctx, worker_id, self._worker_config(worker_id), self._breaker_options
+            )
             if not fresh.ready.wait(ready_timeout) or not fresh.alive:
                 fresh.stop()
                 raise ServerError(f"worker {worker_id} failed to restart")
@@ -811,44 +880,97 @@ class ServingServer:
             self.n_worker_restarts += 1
             return fresh
 
-    def _request(self, model_id: str, op: str, payload: dict):
+    def _request(
+        self, model_id: str, op: str, payload: dict, deadline: Optional[Deadline] = None
+    ):
         """One worker op with crash recovery: when the owning worker is
         found dead — before the send or while the request was in flight
-        — it is respawned and the request retried exactly once. Typed
-        per-request failures and timeouts pass through untouched (a hung
-        worker may still be executing; re-running would double-execute).
+        — it is respawned and the request retried (``_worker_retry``:
+        exactly once). Typed per-request failures and timeouts pass
+        through untouched (a hung worker may still be executing;
+        re-running would double-execute).
+
+        A ``deadline`` shrinks with every hop: each (re)send carries the
+        seconds *remaining* (queue/respawn time already spent is gone)
+        and clamps the pipe wait, so a respawned-and-retried request can
+        never outlive the budget its client set.
+
+        Transport outcomes feed the worker's circuit breaker: after
+        ``breaker_threshold`` consecutive :class:`ServerError` failures
+        (a hung-but-alive worker), requests fail fast with
+        :class:`CircuitOpenError` instead of each waiting out the full
+        pipe timeout. Respawned workers start with a fresh breaker.
         """
         handle = self._handle(model_id)
-        try:
-            return handle.request(op, payload, timeout=self.request_timeout)
-        except ServerError:
-            if handle.alive or not self._started:
+        attempt = 0
+        while True:
+            if deadline is not None:
+                deadline.check(op)
+                payload = dict(payload, deadline=deadline.remaining)
+            timeout = (
+                self.request_timeout
+                if deadline is None
+                else max(1e-3, deadline.clamp(self.request_timeout))
+            )
+            if not handle.breaker.allow():
+                raise CircuitOpenError(
+                    f"worker {handle.worker_id} circuit breaker is open",
+                    retry_after=handle.breaker.retry_after,
+                )
+            try:
+                result = handle.request(op, payload, timeout=timeout)
+            except ServerError as exc:
+                handle.breaker.record_failure()
+                dead = not handle.alive and self._started
+                if not dead or not self._worker_retry.should_retry(exc, attempt):
+                    raise
+                handle = self._respawn(self.worker_for(model_id))
+                attempt += 1
+                continue
+            except BaseException:
+                # Typed per-request failure produced *by* the worker:
+                # the transport is healthy.
+                handle.breaker.record_success()
                 raise
-            fresh = self._respawn(self.worker_for(model_id))
-            return fresh.request(op, payload, timeout=self.request_timeout)
+            handle.breaker.record_success()
+            return result
 
     # ------------------------------------------------------------ operations
-    def predict_request(self, body: dict) -> dict:
-        """Route one predict body to its worker; arrays go over the pipe."""
-        try:
-            model_id = str(body["model_id"])
-            targets = np.asarray(body["targets"], dtype=np.float64)
-        except KeyError as exc:
-            raise ValueError(f"predict body is missing required key {exc}") from None
-        z = body.get("z")
-        payload = {
-            "model_id": model_id,
-            "targets": targets,
-            "z": None if z is None else np.asarray(z, dtype=np.float64),
-            "deadline": body.get("deadline"),
-            "priority": int(body.get("priority", 0)),
-        }
-        result = self._request(model_id, "predict", payload)
-        return {
-            "model_id": model_id,
-            "prediction": np.asarray(result).tolist(),
-            "worker": self.worker_for(model_id),
-        }
+    def predict_request(self, body: dict, *, budget: Optional[float] = None) -> dict:
+        """Route one predict body to its worker; arrays go over the pipe.
+
+        ``budget`` (seconds, from the ``X-Repro-Deadline`` header or the
+        body's ``deadline`` field) becomes an absolute
+        :class:`Deadline` here, at the edge — every layer below (pipe
+        wait, worker queue, engine executor) re-derives the time
+        remaining from it rather than granting itself a fresh timeout.
+        """
+        with self._gate.admit():
+            try:
+                model_id = str(body["model_id"])
+                targets = np.asarray(body["targets"], dtype=np.float64)
+            except KeyError as exc:
+                raise ValueError(
+                    f"predict body is missing required key {exc}"
+                ) from None
+            z = body.get("z")
+            if budget is None:
+                budget = body.get("deadline")
+            deadline = Deadline.after(None if budget is None else float(budget))
+            payload = {
+                "model_id": model_id,
+                "targets": targets,
+                "z": None if z is None else np.asarray(z, dtype=np.float64),
+                "deadline": None,  # filled per send from the Deadline
+                "priority": int(body.get("priority", 0)),
+            }
+            result = self._request(model_id, "predict", payload, deadline=deadline)
+            return {
+                "model_id": model_id,
+                "prediction": np.asarray(result["prediction"]).tolist(),
+                "degraded": bool(result["degraded"]),
+                "worker": self.worker_for(model_id),
+            }
 
     def register_request(self, model_id: str, body: dict) -> dict:
         try:
@@ -996,42 +1118,68 @@ class ServingServer:
         if store is not None:
             store.update(job_id, served=True)
 
-    def models(self) -> Dict[str, List[str]]:
-        """Model ids known to each live worker, keyed by worker index.
+    def models(self) -> dict:
+        """Model ids known to each worker, plus degradation state.
 
-        Dead workers are omitted here (the value type stays a plain id
-        list); ``/healthz`` is the surface that reports their absence.
+        One dead or unresponsive worker degrades the answer instead of
+        failing it: its shard is listed under ``dead_workers`` and the
+        response carries ``degraded: true`` while the live workers'
+        models are still reported.
         """
         out: Dict[str, List[str]] = {}
+        dead: List[int] = []
         for handle in self._workers:
-            if handle.alive:
+            if not handle.alive:
+                dead.append(handle.worker_id)
+                continue
+            try:
                 out[str(handle.worker_id)] = handle.request(
                     "models", timeout=self.request_timeout
                 )
-        return out
+            except ServerError:
+                dead.append(handle.worker_id)
+        return {"models": out, "degraded": bool(dead), "dead_workers": dead}
 
     def metrics(self) -> dict:
         """Per-worker metrics + fleet-wide counter aggregates.
 
         A dead worker is reported with ``"dead": true`` and its last
         observed counters (if any), so aggregates stay monotonic across
-        a crash instead of silently shrinking between polls.
+        a crash instead of silently shrinking between polls — and the
+        whole response carries ``degraded: true`` with the dead workers
+        listed, rather than failing because one shard is down.
         """
         workers = {}
         totals: Dict[str, int] = {}
+        dead: List[int] = []
         for handle in self._workers:
+            snap = None
             if handle.alive:
-                snap = handle.request("metrics", timeout=self.request_timeout)
-                handle.last_metrics = snap
-            elif handle.last_metrics is not None:
-                snap = dict(handle.last_metrics, dead=True)
-            else:
-                workers[str(handle.worker_id)] = {"dead": True}
-                continue
+                try:
+                    snap = handle.request("metrics", timeout=self.request_timeout)
+                    handle.last_metrics = snap
+                except ServerError:
+                    pass
+            if snap is None:
+                dead.append(handle.worker_id)
+                if handle.last_metrics is not None:
+                    snap = dict(handle.last_metrics, dead=True)
+                else:
+                    workers[str(handle.worker_id)] = {"dead": True}
+                    continue
             workers[str(handle.worker_id)] = snap
             for name, value in snap["service"]["counters"].items():
                 totals[name] = totals.get(name, 0) + int(value)
-        return {"workers": workers, "aggregate": {"counters": totals}}
+        return {
+            "workers": workers,
+            "aggregate": {"counters": totals},
+            "admission": self._gate.snapshot(),
+            "worker_breakers": {
+                str(h.worker_id): h.breaker.snapshot() for h in self._workers
+            },
+            "degraded": bool(dead),
+            "dead_workers": dead,
+        }
 
     def health(self) -> dict:
         alive = [handle.alive for handle in self._workers]

@@ -49,15 +49,32 @@ import numpy as np
 from ..config import get_config
 from ..linalg.generation import array_content_key
 from ..exceptions import (
+    CircuitOpenError,
     ConfigurationError,
     DeadlineExceededError,
     ModelNotFoundError,
     ServiceClosedError,
     ServiceOverloadedError,
+    ShapeError,
 )
+from ..resilience.breaker import BreakerPool
+from ..resilience.faults import fault_point
 from ..utils.validation import check_locations
 from .metrics import ServiceMetrics
 from .registry import ModelRegistry
+
+#: Failures caused by the *request* (bad shapes, expired deadlines,
+#: unknown models) — they pass through to their owner without counting
+#: against the model's circuit breaker, which tracks only
+#: infrastructure health.
+_USER_ERRORS = (
+    DeadlineExceededError,
+    ModelNotFoundError,
+    ShapeError,
+    ConfigurationError,
+    ValueError,
+    TypeError,
+)
 
 __all__ = ["BatchPolicy", "PredictionService"]
 
@@ -148,6 +165,15 @@ class PredictionService:
         Cap on the learned adaptive window (default: configured
         ``serving_max_window``). Explicit windows — the service default
         and per-model policies — are honored verbatim.
+    breaker_threshold:
+        Consecutive infrastructure failures that open a model's circuit
+        breaker (default: configured ``breaker_threshold``). While open,
+        the model serves from its last-known-good engine generation with
+        ``degraded: true`` — or fails fast with
+        :class:`~repro.exceptions.CircuitOpenError` when none exists.
+    breaker_recovery:
+        Seconds an open breaker waits before admitting probe traffic
+        (default: configured ``breaker_recovery``).
     metrics:
         A :class:`ServiceMetrics` to record into (default: fresh).
     executor:
@@ -172,6 +198,8 @@ class PredictionService:
         rhs_batching: bool = True,
         adaptive_window: Optional[bool] = None,
         max_window: Optional[float] = None,
+        breaker_threshold: Optional[int] = None,
+        breaker_recovery: Optional[float] = None,
         metrics: Optional[ServiceMetrics] = None,
         executor: Optional[concurrent.futures.Executor] = None,
     ) -> None:
@@ -205,6 +233,17 @@ class PredictionService:
             cfg.serving_max_window if max_window is None else float(max_window)
         )
         self.metrics = metrics or ServiceMetrics()
+        # Breaker knobs resolve against *this thread's* config now:
+        # breakers are created lazily on executor threads whose
+        # thread-local config is the default.
+        self._breakers = BreakerPool(
+            failure_threshold=(
+                cfg.breaker_threshold if breaker_threshold is None else int(breaker_threshold)
+            ),
+            recovery_time=(
+                cfg.breaker_recovery if breaker_recovery is None else float(breaker_recovery)
+            ),
+        )
         self._policies: Dict[str, BatchPolicy] = {}
         self._executor = executor
         self._owns_executor = executor is None
@@ -273,6 +312,7 @@ class PredictionService:
         z: Optional[np.ndarray] = None,
         deadline: Optional[float] = None,
         priority: int = 0,
+        detail: bool = False,
     ) -> np.ndarray:
         """Conditional mean at ``targets`` under model ``model_id``.
 
@@ -295,6 +335,11 @@ class PredictionService:
             joins stops waiting out the coalescing window (it still
             coalesces with whatever is already queued), and its group
             dispatches before lower-priority groups of the same round.
+        detail:
+            When true, return ``(prediction, flags)`` where ``flags``
+            carries ``{"degraded": bool}`` — true when the answer came
+            from a last-known-good engine generation rather than the
+            model's current primary.
 
         Raises
         ------
@@ -335,7 +380,10 @@ class PredictionService:
                 f"model {model_id!r} has {self.max_queue} queued requests"
             ) from None
         self.metrics.inc("requests")
-        return await req.future
+        value, flags = await req.future
+        if detail:
+            return value, flags
+        return value
 
     # --------------------------------------------------------------- policy
     def set_policy(
@@ -496,7 +544,7 @@ class PredictionService:
     async def _dispatch(self, model_id: str, kind: str, group: List[_Request]) -> None:
         assert self._loop is not None
         try:
-            results = await self._loop.run_in_executor(
+            results, degraded = await self._loop.run_in_executor(
                 self._executor, self._execute, model_id, kind, group
             )
         except asyncio.CancelledError:
@@ -511,25 +559,69 @@ class PredictionService:
                 for req in group:
                     await self._dispatch(model_id, "single", [req])
                 return
-            self.metrics.inc("errors", len(group))
+            if isinstance(exc, DeadlineExceededError):
+                self.metrics.inc("deadline_exceeded")
+            else:
+                self.metrics.inc("errors", len(group))
             for req in group:
                 self._fail(req, exc)
             return
         now = time.monotonic()
+        if degraded:
+            self.metrics.inc("degraded", len(group))
         for req, result in zip(group, results):
             # A caller may have cancelled its future (e.g. wait_for
             # timeout); only deliveries that actually happen count as
             # completed or contribute a latency sample.
             if not req.future.done():
-                req.future.set_result(result)
+                req.future.set_result((result, {"degraded": degraded}))
                 self.metrics.inc("completed")
                 self.metrics.observe_latency(now - req.t_submit)
 
     def _execute(
         self, model_id: str, kind: str, group: Sequence[_Request]
+    ) -> Tuple[List[np.ndarray], bool]:
+        """Run one coalesced engine call (executor thread).
+
+        Returns the per-request results plus a ``degraded`` flag — true
+        when the answers came from a fallback engine generation. Queue
+        wait may have consumed a request's whole deadline, so deadlines
+        are re-checked here: expired work raises instead of occupying
+        an engine. Infrastructure failures (and only those) feed the
+        model's circuit breaker; an open breaker serves the
+        last-known-good generation when one exists and fails fast with
+        :class:`CircuitOpenError` otherwise.
+        """
+        now = time.monotonic()
+        for req in group:
+            if req.deadline is not None and now > req.deadline:
+                raise DeadlineExceededError(
+                    f"request expired {now - req.deadline:.3f}s before execution"
+                )
+        breaker = self._breakers.get(model_id)
+        if not breaker.allow():
+            fallback = self.registry.fallback_engine(model_id)
+            if fallback is None:
+                raise CircuitOpenError(
+                    f"model {model_id!r} circuit breaker is open",
+                    retry_after=breaker.retry_after,
+                )
+            return self._run_engine(fallback, kind, group), True
+        try:
+            engine = self.registry.engine(model_id)
+            fault_point("engine.predict")
+            results = self._run_engine(engine, kind, group)
+        except _USER_ERRORS:
+            raise
+        except BaseException:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return results, self.registry.is_degraded(model_id)
+
+    def _run_engine(
+        self, engine, kind: str, group: Sequence[_Request]
     ) -> List[np.ndarray]:
-        """Run one coalesced engine call (executor thread)."""
-        engine = self.registry.engine(model_id)
         self.metrics.inc("engine_calls")
         if kind == "stack":
             self.metrics.inc("coalesced_requests", len(group))
@@ -541,6 +633,10 @@ class PredictionService:
             return [np.ascontiguousarray(out[:, j]) for j in range(len(group))]
         req = group[0]
         return [engine.predict(req.targets, z=req.z)]
+
+    def breaker_states(self) -> Dict[str, dict]:
+        """Per-model circuit-breaker snapshots (for metrics surfaces)."""
+        return self._breakers.snapshot()
 
     def _fail(self, req: _Request, exc: BaseException) -> None:
         if not req.future.done():

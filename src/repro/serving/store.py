@@ -28,8 +28,10 @@ formats readable without this library.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -37,7 +39,8 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from ..config import get_config
-from ..exceptions import BundleError
+from ..exceptions import BundleCorruptError, BundleError
+from ..resilience.faults import fault_point
 from ..kernels import covariance as _covariance
 from ..kernels.covariance import CovarianceModel
 from ..linalg.compression import LowRank
@@ -66,6 +69,47 @@ ARRAYS_NAME = "arrays.npz"
 KERNEL_FAMILIES: Dict[str, type] = {
     name: getattr(_covariance, name) for name in _covariance.__all__
 }
+
+
+def _sha256_file(path: Path, chunk: int = 1 << 20) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as fh:
+        while True:
+            block = fh.read(chunk)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _fsync_path(path: Path) -> None:
+    """fsync a file or directory, tolerating filesystems that refuse."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _quarantine(path: Path) -> Path:
+    """Rename a corrupt bundle directory to ``<name>.corrupt`` (counter
+    suffixed if a previous quarantine already claimed the name) so
+    retries and registry rehydrations stop re-reading the bad copy."""
+    target = path.with_name(path.name + ".corrupt")
+    counter = 1
+    while target.exists():
+        target = path.with_name(f"{path.name}.corrupt{counter}")
+        counter += 1
+    try:
+        os.replace(path, target)
+    except OSError:
+        return path  # e.g. concurrent quarantine; the error still raises
+    return target
 
 
 def model_to_spec(model: CovarianceModel) -> dict:
@@ -210,12 +254,21 @@ class ModelBundle:
         arrays_tmp = path / (ARRAYS_NAME + ".tmp")
         with arrays_tmp.open("wb") as fh:
             np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(arrays_tmp, path / ARRAYS_NAME)
+        # The checksum is computed over the *renamed* payload so a read-back
+        # verifies exactly what load() will see; meta.json still lands last
+        # as the commit marker.
+        meta["checksums"] = {ARRAYS_NAME: _sha256_file(path / ARRAYS_NAME)}
         meta_tmp = path / (META_NAME + ".tmp")
         with meta_tmp.open("w") as fh:
             json.dump(meta, fh, indent=2, sort_keys=True)
             fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(meta_tmp, path / META_NAME)
+        _fsync_path(path)
         return path
 
     def _pack_factor(self, arrays: Dict[str, np.ndarray]) -> Optional[str]:
@@ -266,8 +319,27 @@ class ModelBundle:
             raise BundleError(
                 f"bundle at {path} is malformed: meta.json is missing {missing}"
             )
-        with np.load(arrays_path) as npz:
-            arrays = {k: npz[k] for k in npz.files}
+        fault_point("store.load", path=str(arrays_path))
+        checksums = meta.get("checksums")
+        if isinstance(checksums, dict) and ARRAYS_NAME in checksums:
+            actual = _sha256_file(arrays_path)
+            if actual != checksums[ARRAYS_NAME]:
+                quarantined = _quarantine(path)
+                raise BundleCorruptError(
+                    f"bundle at {path} failed its integrity check: "
+                    f"{ARRAYS_NAME} sha256 {actual[:12]}... does not match "
+                    f"recorded {str(checksums[ARRAYS_NAME])[:12]}...; "
+                    f"quarantined at {quarantined}"
+                )
+        try:
+            with np.load(arrays_path) as npz:
+                arrays = {k: npz[k] for k in npz.files}
+        except (zipfile.BadZipFile, OSError, ValueError, EOFError, KeyError) as exc:
+            quarantined = _quarantine(path)
+            raise BundleCorruptError(
+                f"bundle at {path} has an unreadable {ARRAYS_NAME} "
+                f"({type(exc).__name__}: {exc}); quarantined at {quarantined}"
+            ) from exc
         try:
             sub = meta["substrate"]
             if not isinstance(sub, dict):

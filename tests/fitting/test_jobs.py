@@ -260,6 +260,39 @@ class TestJobStore:
         assert recovered.state(without_progress)["status"] == "queued"
         assert recovered.state(finished)["status"] == "done"
 
+    def test_recover_sweeps_torn_mid_write_temp_files(self, data, tmp_path):
+        """A writer killed between opening its temp file and the
+        ``os.replace`` leaves a ``*.tmp`` stray. ``recover()`` removes
+        them, the durable copies stay authoritative, and the job still
+        resumes from its checkpoint."""
+        store = JobStore(tmp_path)
+        job = store.create(self._spec(data))
+        store.update(job, status="running")
+        state = SimplexState(
+            simplex=np.zeros((4, 3)), fvals=np.zeros(4), iteration=5, nfev=9,
+            history=[],
+        )
+        save_state(store.checkpoint_path(job, 0), state)
+
+        # Simulate kills mid-write: truncated temp files next to the
+        # committed state.json and checkpoint.
+        torn_state = store.job_dir(job) / "state.json.tmp"
+        torn_state.write_text('{"status": "don')  # cut mid-token
+        ckpt = store.checkpoint_path(job, 0)
+        torn_ckpt = ckpt.with_name(ckpt.name + ".tmp")
+        torn_ckpt.write_bytes(ckpt.read_bytes()[:40])
+
+        recovered = JobStore(tmp_path)
+        assert recovered.recover() == [job]
+        assert not torn_state.exists() and not torn_ckpt.exists()
+        # The committed versions were untouched by the sweep.
+        assert recovered.state(job)["status"] == "checkpointed"
+        assert recovered.has_checkpoint(job, 0)
+        from repro.fitting.checkpoint import load_state
+
+        resumed = load_state(ckpt)
+        assert resumed.iteration == 5 and resumed.nfev == 9
+
     def test_record_includes_trace(self, data, tmp_path):
         store = JobStore(tmp_path)
         job = store.create(self._spec(data))

@@ -1,0 +1,273 @@
+"""Deterministic fault injection: rules, plans, arming, propagation."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.exceptions import (
+    BundleCorruptError,
+    ConfigurationError,
+    InjectedFaultError,
+)
+from repro.resilience import faults
+from repro.resilience.faults import (
+    PLAN_ENV,
+    SITES,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    arm,
+    disarm,
+    fault_point,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    """Every test starts and ends with no plan armed (module globals and
+    the environment both clean), so tests cannot leak faults into each
+    other or into the rest of the suite."""
+    disarm()
+    yield
+    disarm()
+
+
+# ---------------------------------------------------------------------------
+# FaultRule validation and firing windows
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_site_rejected():
+    with pytest.raises(ConfigurationError, match="unknown fault site"):
+        FaultRule(site="store.laod", action="raise")
+
+
+def test_unknown_action_rejected():
+    with pytest.raises(ConfigurationError, match="unknown fault action"):
+        FaultRule(site="store.load", action="explode")
+
+
+def test_negative_after_and_zero_count_rejected():
+    with pytest.raises(ConfigurationError, match="after"):
+        FaultRule(site="store.load", action="raise", after=-1)
+    with pytest.raises(ConfigurationError, match="count"):
+        FaultRule(site="store.load", action="raise", count=0)
+
+
+def test_delay_rule_needs_positive_delay():
+    with pytest.raises(ConfigurationError, match="delay"):
+        FaultRule(site="store.load", action="delay", delay=0.0)
+
+
+def test_raise_rule_restricted_to_library_exceptions():
+    with pytest.raises(ConfigurationError, match="unraisable"):
+        FaultRule(site="store.load", action="raise", exception="SystemExit")
+    # Library exceptions and OSError are fine.
+    FaultRule(site="store.load", action="raise", exception="BundleCorruptError")
+    FaultRule(site="store.load", action="raise", exception="OSError")
+
+
+def test_fires_on_window():
+    rule = FaultRule(site="worker.pipe", action="raise", after=2, count=3)
+    assert [rule.fires_on(h) for h in range(1, 8)] == [
+        False, False, True, True, True, False, False,
+    ]
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan firing semantics (in-process counters)
+# ---------------------------------------------------------------------------
+
+
+def test_raise_fires_on_configured_hit_then_recovers():
+    plan = arm(FaultPlan(rules=[
+        FaultRule(site="engine.predict", action="raise", after=1, count=1)
+    ]))
+    fault_point("engine.predict")  # hit 1: passes
+    with pytest.raises(InjectedFaultError, match="engine.predict"):
+        fault_point("engine.predict")  # hit 2: fires
+    fault_point("engine.predict")  # hit 3: recovered
+    assert plan.hits("engine.predict") == 3
+
+
+def test_raise_rule_custom_exception_and_message():
+    arm(FaultPlan(rules=[FaultRule(
+        site="store.load", action="raise",
+        exception="BundleCorruptError", message="torn bundle",
+    )]))
+    with pytest.raises(BundleCorruptError, match="torn bundle"):
+        fault_point("store.load")
+
+
+def test_unmatched_sites_do_not_count_or_fire():
+    plan = arm(FaultPlan(rules=[FaultRule(site="fit.leg", action="raise")]))
+    for _ in range(5):
+        fault_point("runtime.task")
+    assert plan.hits("runtime.task") == 0  # no rule -> not even counted
+
+
+def test_delay_action_sleeps(monkeypatch):
+    slept = []
+    monkeypatch.setattr(faults.time, "sleep", slept.append)
+    arm(FaultPlan(rules=[
+        FaultRule(site="worker.pipe", action="delay", delay=0.25)
+    ]))
+    fault_point("worker.pipe")
+    assert slept == [0.25]
+
+
+def test_corrupt_flips_one_deterministic_byte(tmp_path):
+    victim = tmp_path / "payload.bin"
+    original = bytes(range(256)) * 4
+    victim.write_bytes(original)
+    arm(FaultPlan(rules=[FaultRule(site="store.load", action="corrupt")], seed=7))
+    fault_point("store.load", path=str(victim))
+    mutated = victim.read_bytes()
+    assert len(mutated) == len(original)
+    diffs = [i for i, (a, b) in enumerate(zip(original, mutated)) if a != b]
+    assert len(diffs) == 1
+    assert mutated[diffs[0]] == original[diffs[0]] ^ 0xFF
+
+    # Same seed corrupts the same byte on a fresh run; the choice is
+    # derived from sha256, not the process-randomized hash().
+    victim.write_bytes(original)
+    disarm()
+    arm(FaultPlan(rules=[FaultRule(site="store.load", action="corrupt")], seed=7))
+    fault_point("store.load", path=str(victim))
+    assert [i for i, (a, b) in enumerate(zip(original, victim.read_bytes())) if a != b] == diffs
+
+
+def test_corrupt_without_path_raises_injected_fault():
+    arm(FaultPlan(rules=[FaultRule(site="engine.predict", action="corrupt")]))
+    with pytest.raises(InjectedFaultError, match="no file path"):
+        fault_point("engine.predict")
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def test_plan_json_round_trip(tmp_path):
+    plan = FaultPlan(
+        rules=[
+            FaultRule(site="worker.pipe", action="kill", after=3),
+            FaultRule(site="store.load", action="corrupt", count=2),
+        ],
+        seed=42,
+        state_dir=tmp_path / "chaos",
+    )
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone.seed == 42
+    assert clone.state_dir == plan.state_dir
+    assert [r.to_dict() for r in clone.rules] == [r.to_dict() for r in plan.rules]
+
+
+# ---------------------------------------------------------------------------
+# Cross-process state: shared counters and the fired journal
+# ---------------------------------------------------------------------------
+
+
+def test_state_dir_counters_shared_between_plan_instances(tmp_path):
+    rules = [FaultRule(site="fit.leg", action="raise", after=1)]
+    first = FaultPlan(rules=rules, state_dir=tmp_path)
+    second = FaultPlan(rules=rules, state_dir=tmp_path)
+    first.visit("fit.leg")  # hit 1 passes
+    with pytest.raises(InjectedFaultError):
+        second.visit("fit.leg")  # a different instance sees hit 2
+    assert first.hits("fit.leg") == second.hits("fit.leg") == 2
+
+
+def test_fired_journal_records_each_firing(tmp_path):
+    plan = FaultPlan(
+        rules=[FaultRule(site="runtime.task", action="raise", after=1, count=2)],
+        state_dir=tmp_path,
+    )
+    for _ in range(4):
+        try:
+            plan.visit("runtime.task")
+        except InjectedFaultError:
+            pass
+    fired = plan.fired()
+    assert [(f["site"], f["hit"], f["action"]) for f in fired] == [
+        ("runtime.task", 2, "raise"),
+        ("runtime.task", 3, "raise"),
+    ]
+    assert all(f["pid"] == os.getpid() for f in fired)
+
+
+def test_subprocess_counts_against_the_same_state_dir(tmp_path):
+    """A plan propagated via the environment is lazily armed by a child
+    process, and with a ``state_dir`` the child's hits continue the
+    parent's count — the contract the chaos soak's kill rules rely on."""
+    plan = arm(
+        FaultPlan(
+            rules=[FaultRule(site="fit.leg", action="raise", after=1)],
+            state_dir=tmp_path,
+        ),
+        propagate=True,
+    )
+    fault_point("fit.leg")  # parent takes hit 1
+    code = (
+        "from repro.resilience.faults import fault_point\n"
+        "from repro.exceptions import InjectedFaultError\n"
+        "try:\n"
+        "    fault_point('fit.leg')\n"
+        "except InjectedFaultError:\n"
+        "    print('FIRED')\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", code], env=env, cwd="/root/repo",
+        capture_output=True, text=True, timeout=60,
+    )
+    assert out.stdout.strip() == "FIRED", out.stderr
+    assert plan.hits("fit.leg") == 2
+    (fired,) = plan.fired()
+    assert fired["pid"] != os.getpid()
+
+
+# ---------------------------------------------------------------------------
+# Module-level arming and the unarmed fast path
+# ---------------------------------------------------------------------------
+
+
+def test_fault_point_is_a_noop_when_unarmed():
+    assert active_plan() is None
+    for site in SITES:
+        fault_point(site)  # must not raise, sleep, or create state
+
+
+def test_arm_disarm_round_trip():
+    plan = FaultPlan(rules=[FaultRule(site="store.load", action="raise")])
+    assert arm(plan) is plan
+    assert active_plan() is plan
+    disarm()
+    assert active_plan() is None
+    fault_point("store.load")  # disarmed again -> no-op
+
+
+def test_propagate_exports_and_disarm_cleans_the_environment():
+    plan = FaultPlan(rules=[FaultRule(site="store.load", action="raise")], seed=3)
+    arm(plan, propagate=True)
+    assert json.loads(os.environ[PLAN_ENV])["seed"] == 3
+    disarm()
+    assert PLAN_ENV not in os.environ
+
+
+def test_env_pending_lazy_arm(monkeypatch):
+    """A process that inherits ``REPRO_FAULT_PLAN`` (as workers do) arms
+    itself on its first fault point."""
+    plan = FaultPlan(rules=[FaultRule(site="worker.pipe", action="raise")])
+    monkeypatch.setenv(PLAN_ENV, plan.to_json())
+    monkeypatch.setattr(faults, "_PLAN", None)
+    monkeypatch.setattr(faults, "_ENV_PENDING", True)
+    with pytest.raises(InjectedFaultError):
+        fault_point("worker.pipe")
+    assert active_plan() is not None

@@ -1,0 +1,211 @@
+"""Unified retry/deadline policies: determinism, idempotency, budgets."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import ConfigurationError, DeadlineExceededError, ServerError
+from repro.resilience import Deadline, RetryPolicy
+
+
+# ---------------------------------------------------------------------------
+# Deadline
+# ---------------------------------------------------------------------------
+
+
+def test_after_none_is_none():
+    assert Deadline.after(None) is None
+
+
+def test_remaining_and_expired():
+    d = Deadline.after(30.0)
+    assert 29.0 < d.remaining <= 30.0
+    assert not d.expired
+    past = Deadline(time.monotonic() - 1.0)
+    assert past.expired
+    assert past.remaining < 0
+
+
+def test_check_raises_only_once_expired():
+    Deadline.after(30.0).check("predict")  # plenty left: no raise
+    past = Deadline(time.monotonic() - 0.5)
+    with pytest.raises(DeadlineExceededError, match="predict deadline expired"):
+        past.check("predict")
+
+
+def test_clamp_bounds_a_layer_timeout():
+    d = Deadline.after(1.0)
+    assert d.clamp(30.0) <= 1.0  # the deadline wins over a generous timeout
+    assert d.clamp(0.01) == 0.01  # a tight timeout stays tight
+    expired = Deadline(time.monotonic() - 1.0)
+    assert expired.clamp(30.0) == 0.0  # floored, never negative
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy validation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_attempts": 0},
+        {"base_delay": -0.1},
+        {"multiplier": 0.5},
+        {"max_delay": -1.0},
+        {"jitter": 1.5},
+        {"jitter": -0.1},
+    ],
+)
+def test_invalid_settings_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic backoff
+# ---------------------------------------------------------------------------
+
+
+def test_delay_sequence_is_deterministic():
+    a = RetryPolicy(max_attempts=5, base_delay=0.1, seed=11)
+    b = RetryPolicy(max_attempts=5, base_delay=0.1, seed=11)
+    assert [a.delay(i) for i in range(4)] == [b.delay(i) for i in range(4)]
+    c = RetryPolicy(max_attempts=5, base_delay=0.1, seed=12)
+    assert [a.delay(i) for i in range(4)] != [c.delay(i) for i in range(4)]
+
+
+def test_zero_jitter_is_exact_exponential():
+    pol = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.0, max_delay=10.0)
+    assert [pol.delay(i) for i in range(4)] == [0.1, 0.2, 0.4, 0.8]
+
+
+def test_jitter_stays_within_the_configured_band():
+    pol = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.5, seed=3)
+    for attempt in range(6):
+        raw = min(pol.max_delay, 0.1 * 2.0**attempt)
+        assert raw * 0.5 <= pol.delay(attempt) <= raw * 1.5
+
+
+def test_max_delay_caps_the_curve():
+    pol = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=2.0, jitter=0.0)
+    assert pol.delay(5) == 2.0
+
+
+def test_seed_defaults_to_configured_rng_seed():
+    from repro.config import get_config
+
+    assert RetryPolicy().seed == get_config().rng_seed
+
+
+# ---------------------------------------------------------------------------
+# should_retry: budget, idempotency, deadline, exception type
+# ---------------------------------------------------------------------------
+
+
+def test_allows_counts_total_attempts():
+    pol = RetryPolicy(max_attempts=3)
+    assert [pol.allows(i) for i in range(4)] == [True, True, True, False]
+
+
+def test_budget_exhaustion_stops_retries():
+    pol = RetryPolicy(max_attempts=2)
+    exc = ServerError("boom")
+    assert pol.should_retry(exc, 0)
+    assert not pol.should_retry(exc, 1)  # attempt 1 was the last of 2
+
+
+def test_non_idempotent_attempts_are_never_retried():
+    pol = RetryPolicy(max_attempts=5)
+    assert not pol.should_retry(ServerError("boom"), 0, idempotent=False)
+
+
+def test_expired_deadline_vetoes_a_retry():
+    pol = RetryPolicy(max_attempts=5)
+    expired = Deadline(time.monotonic() - 1.0)
+    assert not pol.should_retry(ServerError("boom"), 0, deadline=expired)
+    live = Deadline.after(30.0)
+    assert pol.should_retry(ServerError("boom"), 0, deadline=live)
+
+
+def test_only_configured_exception_types_are_retryable():
+    pol = RetryPolicy(retry_on=(ServerError,))
+    assert pol.should_retry(ServerError("boom"), 0)
+    assert not pol.should_retry(ValueError("boom"), 0)
+
+
+# ---------------------------------------------------------------------------
+# call(): the execution loop
+# ---------------------------------------------------------------------------
+
+
+def test_call_retries_to_success_with_policy_delays():
+    pol = RetryPolicy(max_attempts=4, base_delay=0.1, seed=5)
+    failures = iter([ServerError("one"), ServerError("two")])
+    calls, slept, retried = [], [], []
+
+    def flaky():
+        calls.append(1)
+        exc = next(failures, None)
+        if exc is not None:
+            raise exc
+        return "ok"
+
+    assert (
+        pol.call(flaky, sleep=slept.append, on_retry=lambda a, e: retried.append(a))
+        == "ok"
+    )
+    assert len(calls) == 3
+    assert slept == [pol.delay(0), pol.delay(1)]  # the deterministic curve
+    assert retried == [0, 1]
+
+
+def test_call_exhausts_the_budget_and_reraises_the_last_error():
+    pol = RetryPolicy(max_attempts=3, base_delay=0.0)
+    calls = []
+
+    def always_fails():
+        calls.append(1)
+        raise ServerError(f"failure {len(calls)}")
+
+    with pytest.raises(ServerError, match="failure 3"):
+        pol.call(always_fails, sleep=lambda _: None)
+    assert len(calls) == 3
+
+
+def test_call_does_not_retry_unlisted_exceptions():
+    pol = RetryPolicy(max_attempts=5, retry_on=(ServerError,))
+    calls = []
+
+    def wrong_kind():
+        calls.append(1)
+        raise ValueError("not retryable")
+
+    with pytest.raises(ValueError):
+        pol.call(wrong_kind, sleep=lambda _: None)
+    assert len(calls) == 1
+
+
+def test_call_checks_the_deadline_before_each_attempt():
+    pol = RetryPolicy(max_attempts=5, base_delay=0.0)
+    with pytest.raises(DeadlineExceededError):
+        pol.call(lambda: "never runs", deadline=Deadline(time.monotonic() - 1.0))
+
+
+def test_call_clamps_sleeps_to_the_deadline():
+    pol = RetryPolicy(max_attempts=3, base_delay=10.0, jitter=0.0)
+    deadline = Deadline.after(0.05)
+    slept = []
+    failures = iter([ServerError("one")])
+
+    def flaky():
+        exc = next(failures, None)
+        if exc is not None:
+            raise exc
+        return "ok"
+
+    assert pol.call(flaky, deadline=deadline, sleep=slept.append) == "ok"
+    (pause,) = slept
+    assert pause <= 0.05  # the 10s backoff was clamped to the time left

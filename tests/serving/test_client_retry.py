@@ -1,0 +1,164 @@
+"""ServingClient retry semantics, tested against a fake transport.
+
+The transport layer (``_request_once``) is monkeypatched so these tests
+pin down the *decision logic*: which rejections are resubmitted, with
+which (deterministic) backoff, and which failures must never be retried
+because the request may already have executed server-side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    CircuitOpenError,
+    LoadShedError,
+    ModelNotFoundError,
+    ServerError,
+    ServiceOverloadedError,
+)
+from repro.resilience import RetryPolicy
+from repro.serving import ServingClient
+
+
+class FakeTransport:
+    """Scripted ``_request_once`` stand-in: raises each queued response
+    in turn, then succeeds with ``payload``."""
+
+    def __init__(self, failures, payload=None):
+        self.failures = list(failures)
+        self.payload = payload if payload is not None else {"ok": True}
+        self.calls = []
+
+    def __call__(self, method, path, body=None, headers=None):
+        self.calls.append((method, path))
+        if self.failures:
+            raise self.failures.pop(0)
+        return self.payload
+
+
+def _client(monkeypatch, transport, policy=None, sleeps=None):
+    cli = ServingClient("http://127.0.0.1:9", retry_policy=policy)
+    monkeypatch.setattr(cli, "_request_once", transport)
+    if sleeps is not None:
+        import repro.serving.client as client_mod
+
+        monkeypatch.setattr(client_mod.time, "sleep", sleeps.append)
+    return cli
+
+
+def test_no_policy_surfaces_rejections_unchanged(monkeypatch):
+    transport = FakeTransport([LoadShedError("full", retry_after=0.1)])
+    cli = _client(monkeypatch, transport)
+    with pytest.raises(LoadShedError):
+        cli._request("POST", "/v1/predict", {})
+    assert len(transport.calls) == 1
+    assert cli.n_retries == 0
+
+
+@pytest.mark.parametrize(
+    "rejection",
+    [
+        LoadShedError("shed"),
+        CircuitOpenError("open"),
+        ServiceOverloadedError("queue full"),
+    ],
+)
+def test_not_executed_rejections_are_retried_under_a_policy(monkeypatch, rejection):
+    policy = RetryPolicy(max_attempts=3, base_delay=0.01, seed=2)
+    transport = FakeTransport([rejection])
+    sleeps = []
+    cli = _client(monkeypatch, transport, policy, sleeps)
+    assert cli._request("POST", "/v1/predict", {}) == {"ok": True}
+    assert len(transport.calls) == 2
+    assert cli.n_retries == 1
+
+
+def test_backoff_follows_the_policy_deterministic_jitter(monkeypatch):
+    policy = RetryPolicy(max_attempts=4, base_delay=0.02, jitter=0.5, seed=9)
+    transport = FakeTransport([LoadShedError("shed"), LoadShedError("shed")])
+    sleeps = []
+    cli = _client(monkeypatch, transport, policy, sleeps)
+    cli._request("POST", "/v1/predict", {})
+    # The exact seeded jitter curve — reproducible across runs.
+    assert sleeps == [policy.delay(0), policy.delay(1)]
+    assert sleeps == [
+        RetryPolicy(max_attempts=4, base_delay=0.02, jitter=0.5, seed=9).delay(i)
+        for i in range(2)
+    ]
+
+
+def test_server_retry_after_hint_wins_over_the_backoff_curve(monkeypatch):
+    policy = RetryPolicy(max_attempts=3, base_delay=60.0, jitter=0.0, seed=1)
+    transport = FakeTransport([CircuitOpenError("open", retry_after=0.03)])
+    sleeps = []
+    cli = _client(monkeypatch, transport, policy, sleeps)
+    cli._request("POST", "/v1/predict", {})
+    assert sleeps == [0.03]  # the hint, not the 60s policy delay
+
+
+def test_budget_exhaustion_reraises_the_rejection(monkeypatch):
+    policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+    transport = FakeTransport([LoadShedError("shed"), LoadShedError("shed"), LoadShedError("shed")])
+    cli = _client(monkeypatch, transport, policy, [])
+    with pytest.raises(LoadShedError):
+        cli._request("POST", "/v1/predict", {})
+    assert len(transport.calls) == 2  # the budget, not the failure count
+    assert cli.n_retries == 1
+
+
+@pytest.mark.parametrize(
+    "executed_failure",
+    [
+        ServerError("worker pipe timed out"),  # the request may have run
+        ModelNotFoundError("nope"),  # a definitive answer, not a rejection
+        ValueError("bad targets"),
+    ],
+)
+def test_failures_that_may_have_executed_are_never_retried(monkeypatch, executed_failure):
+    """A POST whose body was sent must not be resubmitted on generic
+    errors — predicts would run twice. Only the server's explicit
+    not-executed rejections are retryable."""
+    policy = RetryPolicy(max_attempts=5, base_delay=0.0)
+    transport = FakeTransport([executed_failure])
+    cli = _client(monkeypatch, transport, policy, [])
+    with pytest.raises(type(executed_failure)):
+        cli._request("POST", "/v1/predict", {})
+    assert len(transport.calls) == 1
+    assert cli.n_retries == 0
+
+
+def test_predict_goes_through_the_retry_loop(monkeypatch):
+    policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+    transport = FakeTransport(
+        [LoadShedError("shed")],
+        payload={"model_id": "m", "prediction": [1.0, 2.0], "degraded": False},
+    )
+    cli = _client(monkeypatch, transport, policy, [])
+    np.testing.assert_array_equal(cli.predict("m", [[0.1, 0.2]]), [1.0, 2.0])
+    assert cli.n_retries == 1
+
+
+def test_deadline_travels_as_a_header_not_body(monkeypatch):
+    seen = {}
+
+    def transport(method, path, body=None, headers=None):
+        seen.update(body=body, headers=headers)
+        return {"model_id": "m", "prediction": [0.0], "degraded": False}
+
+    cli = ServingClient("http://127.0.0.1:9")
+    monkeypatch.setattr(cli, "_request_once", transport)
+    cli.predict("m", [[0.1, 0.2]], deadline=2.5)
+    assert seen["headers"] == {"X-Repro-Deadline": "2.500000"}
+    assert "deadline" not in seen["body"]
+
+
+def test_predict_detail_surfaces_the_degraded_flag(monkeypatch):
+    transport = FakeTransport(
+        [], payload={"model_id": "m", "prediction": [3.0], "degraded": True}
+    )
+    cli = _client(monkeypatch, transport)
+    value, flags = cli.predict("m", [[0.1, 0.2]], detail=True)
+    np.testing.assert_array_equal(value, [3.0])
+    assert flags == {"degraded": True}

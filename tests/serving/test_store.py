@@ -13,7 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data import generate_irregular_grid, sample_gaussian_field
-from repro.exceptions import BundleError
+from repro.exceptions import BundleCorruptError, BundleError
 from repro.kernels import ExponentialCovariance, MaternCovariance
 from repro.kernels.covariance import (
     GaussianCovariance,
@@ -298,3 +298,86 @@ def test_unknown_family_rejected(problem, tmp_path):
     (path / "meta.json").write_text(json.dumps(meta))
     with pytest.raises(BundleError):
         load_model(path)
+
+
+# --------------------------------------------------------------------------
+# Integrity: the sha256 recorded at save time is verified at load time;
+# torn payloads raise a typed error and the bad copy is quarantined.
+# --------------------------------------------------------------------------
+
+
+def _small_bundle(tmp_path, name="b.bundle"):
+    locs = np.random.default_rng(0).random((8, 2))
+    bundle = ModelBundle(model=MaternCovariance(1.0, 0.1, 0.5), locations=locs, z=None)
+    return bundle.save(tmp_path / name)
+
+
+def test_save_records_the_arrays_checksum(tmp_path):
+    path = _small_bundle(tmp_path)
+    meta = json.loads((path / "meta.json").read_text())
+    recorded = meta["checksums"]["arrays.npz"]
+    import hashlib
+
+    assert recorded == hashlib.sha256((path / "arrays.npz").read_bytes()).hexdigest()
+    load_model(path)  # a clean bundle passes its own check
+
+
+def test_corrupted_arrays_raise_typed_error_and_quarantine(tmp_path):
+    path = _small_bundle(tmp_path)
+    data = bytearray((path / "arrays.npz").read_bytes())
+    data[len(data) // 2] ^= 0xFF  # one flipped byte, size unchanged
+    (path / "arrays.npz").write_bytes(bytes(data))
+    with pytest.raises(BundleCorruptError, match="integrity check"):
+        load_model(path)
+    # The bad copy was renamed aside so retries stop re-reading it...
+    assert not path.exists()
+    quarantined = path.with_name(path.name + ".corrupt")
+    assert (quarantined / "arrays.npz").is_file()
+    # ...and a later load of the (now missing) path is a plain BundleError.
+    with pytest.raises(BundleError):
+        load_model(path)
+
+
+def test_truncated_arrays_raise_typed_error_and_quarantine(tmp_path):
+    """A torn write (no checksum recorded, payload cut short) surfaces
+    as BundleCorruptError from the npz reader, not a raw zipfile error."""
+    path = _small_bundle(tmp_path)
+    meta = json.loads((path / "meta.json").read_text())
+    del meta["checksums"]  # pre-checksum bundle: only the reader can object
+    (path / "meta.json").write_text(json.dumps(meta))
+    payload = (path / "arrays.npz").read_bytes()
+    (path / "arrays.npz").write_bytes(payload[: len(payload) // 3])
+    with pytest.raises(BundleCorruptError, match="unreadable"):
+        load_model(path)
+    assert not path.exists()
+    assert path.with_name(path.name + ".corrupt").exists()
+
+
+def test_bundle_corrupt_error_is_a_bundle_error(tmp_path):
+    assert issubclass(BundleCorruptError, BundleError)
+
+
+def test_legacy_bundle_without_checksums_still_loads(tmp_path):
+    path = _small_bundle(tmp_path)
+    meta = json.loads((path / "meta.json").read_text())
+    del meta["checksums"]
+    (path / "meta.json").write_text(json.dumps(meta))
+    loaded = load_model(path)
+    assert loaded.n == 8
+
+
+def test_quarantine_names_do_not_collide(tmp_path):
+    first = _small_bundle(tmp_path, "m.bundle")
+    data = bytearray((first / "arrays.npz").read_bytes())
+    data[10] ^= 0xFF
+    (first / "arrays.npz").write_bytes(bytes(data))
+    with pytest.raises(BundleCorruptError):
+        load_model(first)
+    second = _small_bundle(tmp_path, "m.bundle")  # same path, fresh save
+    data = bytearray((second / "arrays.npz").read_bytes())
+    data[10] ^= 0xFF
+    (second / "arrays.npz").write_bytes(bytes(data))
+    with pytest.raises(BundleCorruptError):
+        load_model(second)
+    assert (tmp_path / "m.bundle.corrupt").exists()
+    assert (tmp_path / "m.bundle.corrupt1").exists()
