@@ -148,6 +148,14 @@ class Config:
         Server-wide cap on concurrently in-flight HTTP requests; beyond
         it, requests are shed immediately with 503 + ``Retry-After``
         (``LoadShedError``) instead of queueing without bound.
+    serving_max_body:
+        Byte cap on a single HTTP request body (JSON or binary). The
+        router rejects larger declared bodies with 413
+        (``PayloadTooLargeError``) *before* reading them, and the
+        :class:`~repro.serving.client.ServingClient` refuses to
+        JSON-encode a body over the cap with a message pointing at the
+        binary transport (``transport="binary"``), whose framed float64
+        payload is several times smaller and streamed.
     """
 
     tile_size: int = 250
@@ -174,6 +182,7 @@ class Config:
     breaker_threshold: int = 5
     breaker_recovery: float = 2.0
     serving_max_inflight: int = 128
+    serving_max_body: int = 64 * 1024 * 1024
 
     def __post_init__(self) -> None:
         self.validate()
@@ -256,6 +265,10 @@ class Config:
         if self.serving_max_inflight < 1:
             raise ConfigurationError(
                 f"serving_max_inflight must be >= 1, got {self.serving_max_inflight}"
+            )
+        if self.serving_max_body < 1024:
+            raise ConfigurationError(
+                f"serving_max_body must be >= 1024 bytes, got {self.serving_max_body}"
             )
 
     def resolved_workers(self) -> int:

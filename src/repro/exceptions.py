@@ -16,7 +16,17 @@ class ConfigurationError(ReproError):
     """An invalid global or per-call configuration value was supplied."""
 
 
-class ShapeError(ReproError):
+class ValidationError(ReproError):
+    """An argument failed validation before any work was attempted.
+
+    The message names the offending argument. Raised, for example, for
+    ragged/object-dtype target lists that :func:`numpy.asarray` would
+    otherwise reject with an opaque conversion error deep inside the
+    transport.
+    """
+
+
+class ShapeError(ValidationError):
     """An array argument has an incompatible shape."""
 
 
@@ -144,6 +154,38 @@ class LoadShedError(ServingError):
 
 class ServiceClosedError(ServingError):
     """The prediction service is not running (not started, or stopped)."""
+
+
+class PredictionError(ServingError):
+    """A prediction completed but its values cannot be delivered.
+
+    Raised when a degenerate model produces non-finite (NaN/inf)
+    predictions and the negotiated transport cannot represent them:
+    strict JSON has no ``NaN``/``Infinity`` tokens, so the JSON surface
+    answers this typed error instead of emitting unparseable output.
+    The binary transport carries the raw float64 bits and therefore
+    delivers non-finite predictions verbatim.
+    """
+
+
+class PayloadTooLargeError(ServingError):
+    """A request body exceeds the configured ``serving_max_body`` cap.
+
+    Maps to HTTP 413. Raised server-side for oversized declared bodies
+    (before reading them) and client-side when asked to JSON-encode a
+    body over the cap — the fix for large target sets is the binary
+    transport (``transport="binary"``), whose framed float64 payload is
+    several times smaller and is streamed instead of materialized.
+    """
+
+
+class WireFormatError(ServingError):
+    """A binary-transport message violates the framed wire format.
+
+    Bad magic, an unsupported wire version, a malformed frame header,
+    an unsupported dtype, or a stream truncated mid-frame (a connection
+    dropped mid-stream). See :mod:`repro.serving.wire` for the format.
+    """
 
 
 class ServerError(ServingError):

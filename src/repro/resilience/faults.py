@@ -7,7 +7,9 @@ cannot be bisected. This module provides that determinism:
 
 * Production code is instrumented with :func:`fault_point` calls at
   **named sites** (``store.load``, ``registry.rehydrate``,
-  ``worker.pipe``, ``fit.leg``, ``engine.predict``, ``runtime.task``).
+  ``worker.pipe``, ``fit.leg``, ``engine.predict``, ``runtime.task``,
+  ``wire.stream`` — the binary transport's streamed-response chunk
+  loop, for dropping a connection mid-stream).
   Unarmed, a fault point is two module-global reads — no measurable
   cost on any request path.
 * A :class:`FaultPlan` is a seeded list of :class:`FaultRule`\\ s, each
@@ -67,6 +69,7 @@ SITES = (
     "fit.leg",
     "engine.predict",
     "runtime.task",
+    "wire.stream",
 )
 
 #: Environment variable carrying a JSON-serialized plan to child processes.

@@ -63,6 +63,27 @@ class Deadline:
             return None
         return cls(time.monotonic() + float(budget))
 
+    @classmethod
+    def from_header(cls, value: Optional[str]) -> Optional["Deadline"]:
+        """A deadline from an ``X-Repro-Deadline`` header (budget seconds).
+
+        ``None`` (no header) stays ``None``. A malformed value raises
+        ``ValueError`` with the header named, which the HTTP layer maps
+        to a 400 — a proxy's typo must not silently serve without the
+        budget it meant to impose. Parsed at the *edge*, before the
+        request body is read, so streaming body reads are already
+        bounded by the client's budget.
+        """
+        if value is None:
+            return None
+        try:
+            budget = float(value)
+        except ValueError:
+            raise ValueError(
+                f"malformed X-Repro-Deadline header {value!r} (want seconds)"
+            ) from None
+        return cls.after(budget)
+
     @property
     def remaining(self) -> float:
         """Seconds left (negative once expired)."""

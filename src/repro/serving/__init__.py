@@ -20,12 +20,20 @@ PredictionEngine` — fast but trapped inside the process that ran
   backpressure and per-request deadlines;
 * :mod:`repro.serving.metrics` — :class:`ServiceMetrics`, the counter,
   latency, and arrival-rate surface the benchmarks report from;
+* :mod:`repro.serving.wire` — the ``application/x-repro-npy`` framed
+  binary format: raw little-endian float64 payloads, streamed in
+  bounded chunks, bit-identical where strict JSON cannot even
+  represent the values (NaN/inf) and several times smaller on the
+  wire;
 * :mod:`repro.serving.server` — :class:`ServingServer`, an HTTP
   front-end that spawns worker *processes* (each hosting a registry +
   service), shards model ids onto them with the registry's stable
-  hash, and exposes predict / metrics / hot-reload endpoints;
+  hash, and exposes predict / metrics / hot-reload endpoints over
+  JSON or the negotiated binary transport, including model
+  register-by-upload;
 * :mod:`repro.serving.client` — :class:`ServingClient`, the matching
-  stdlib HTTP client with typed error mapping.
+  stdlib HTTP client with typed error mapping, per-call transport
+  selection, and pipelined keep-alive predicts.
 
 Fit → save → serve (in process):
 

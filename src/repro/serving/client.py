@@ -1,39 +1,67 @@
 """HTTP client for :class:`~repro.serving.server.ServingServer`.
 
 A thin, dependency-free wrapper over :mod:`http.client` that speaks the
-server's JSON protocol and re-raises the server's typed errors
+server's two transports and re-raises the server's typed errors
 (:class:`~repro.exceptions.ModelNotFoundError`,
 :class:`~repro.exceptions.ServiceOverloadedError`, ...) so remote and
 in-process callers handle failures identically.
 
+Transports
+----------
+``transport="json"`` (default) is the debug surface: bodies are JSON,
+encoded strictly (``allow_nan=False``) so a non-finite float raises a
+typed :class:`~repro.exceptions.ValidationError` instead of emitting
+bare ``NaN`` tokens no parser accepts, and capped at ``max_body`` bytes
+with a message pointing at the binary transport. JSON float encoding
+round-trips every finite ``float64`` exactly, so JSON predictions are
+bit-identical to calling the worker's engine in process.
+
+``transport="binary"`` speaks :mod:`repro.serving.wire`: targets cross
+as raw little-endian float64 frames (several times smaller on the
+wire, no repr/parse cost, deflate on top for structured payloads),
+the request body is *streamed* from the source arrays (never
+concatenated), and the chunked response is decoded incrementally into
+one preallocated array — also bit-exact, including NaN/inf payloads
+JSON cannot carry at all.
+
+:meth:`ServingClient.predict_pipelined` additionally pipelines many
+predict requests over one connection — all requests are sent before
+the first response is read, hiding per-request latency — using either
+transport.
+
 Each client holds one persistent keep-alive connection guarded by a
 lock, so a client instance is thread-safe but serializes its own
 requests — concurrent load generators should use one client per
-logical client (see ``benchmarks/bench_http_serving.py``). JSON float
-encoding round-trips every finite ``float64`` exactly, so
-:meth:`ServingClient.predict` is bit-identical to calling the worker's
-engine in process.
+logical client (see ``benchmarks/bench_http_serving.py``).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 import time
 import urllib.parse
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..config import get_config
 from ..exceptions import (
     CircuitOpenError,
+    ConfigurationError,
     FittingError,
     LoadShedError,
+    PayloadTooLargeError,
     ServerError,
     ServiceOverloadedError,
+    ValidationError,
+    WireFormatError,
 )
 from ..resilience.policy import RetryPolicy
+from ..utils.validation import as_float_array, check_locations
+from . import wire
 from .server import exception_from_wire
 
 __all__ = ["ServingClient"]
@@ -43,6 +71,26 @@ __all__ = ["ServingClient"]
 #: queue. Retrying them is always safe, even for POSTs whose body was
 #: sent; whether they ARE retried is the retry policy's call.
 _NOT_EXECUTED = (LoadShedError, CircuitOpenError, ServiceOverloadedError)
+
+
+class _BufferedResponse:
+    """A fully-buffered stand-in for :class:`http.client.HTTPResponse`,
+    used when an early server rejection was read off a connection that
+    died mid-request (see :meth:`ServingClient._early_rejection`)."""
+
+    __slots__ = ("status", "_body", "_headers")
+
+    def __init__(self, status: int, body: bytes, headers: Dict[str, str]) -> None:
+        self.status = status
+        self._body = body
+        self._headers = headers
+
+    def read(self, n: int = -1) -> bytes:
+        body, self._body = self._body, b""
+        return body
+
+    def getheader(self, name: str, default=None):
+        return self._headers.get(name.lower(), default)
 
 
 class ServingClient:
@@ -66,11 +114,21 @@ class ServingClient:
         connection that turns out dead is always retried exactly once,
         and nothing else (a timeout, or a failure on a fresh
         connection) ever is — the request may have executed.
+    transport:
+        Default predict transport: ``"json"`` (debug surface) or
+        ``"binary"`` (framed float64 frames, streamed both ways — see
+        the module docstring). Overridable per call.
+    max_body:
+        Byte cap the client enforces on its *own* JSON bodies before
+        sending (default: configured ``serving_max_body``, matching
+        the server's 413 threshold). Binary bodies are not capped
+        client-side — the binary transport is the remedy the cap's
+        error message prescribes.
 
     Examples
     --------
     >>> with ServingServer({"m": path}) as server:        # doctest: +SKIP
-    ...     client = ServingClient(server.url)
+    ...     client = ServingClient(server.url, transport="binary")
     ...     mean = client.predict("m", targets)
     """
 
@@ -80,6 +138,8 @@ class ServingClient:
         *,
         timeout: float = 120.0,
         retry_policy: Optional[RetryPolicy] = None,
+        transport: str = "json",
+        max_body: Optional[int] = None,
     ) -> None:
         if url.startswith("https://"):
             raise ServerError("ServingClient speaks plain http only")
@@ -93,6 +153,14 @@ class ServingClient:
             self.port = 80 if parts.port is None else int(parts.port)
         except ValueError as exc:
             raise ServerError(f"invalid serving URL {url!r}: {exc}") from exc
+        if transport not in ("json", "binary"):
+            raise ConfigurationError(
+                f"transport must be 'json' or 'binary', got {transport!r}"
+            )
+        self.transport = transport
+        self.max_body = (
+            get_config().serving_max_body if max_body is None else int(max_body)
+        )
         self.timeout = float(timeout)
         self.retry_policy = retry_policy
         self.n_retries = 0  # response-level (shed/breaker) resubmissions
@@ -100,17 +168,13 @@ class ServingClient:
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------- transport
-    def _request(
-        self,
-        method: str,
-        path: str,
-        body: Optional[dict] = None,
-        headers: Optional[Dict[str, str]] = None,
-    ) -> dict:
+    def _with_policy(self, fn: Callable[[], object]):
+        """Run one request, resubmitting not-executed rejections (load
+        shed, open breaker, full queue) under the retry policy."""
         attempt = 0
         while True:
             try:
-                return self._request_once(method, path, body, headers)
+                return fn()
             except _NOT_EXECUTED as exc:
                 policy = self.retry_policy
                 if policy is None or not policy.should_retry(exc, attempt):
@@ -124,6 +188,124 @@ class ServingClient:
                 self.n_retries += 1
                 attempt += 1
 
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> dict:
+        return self._with_policy(
+            lambda: self._request_once(method, path, body, headers)
+        )
+
+    def _encode_json(self, body: dict) -> bytes:
+        """Strict JSON encoding of a request body.
+
+        ``allow_nan=False`` because bare ``NaN``/``Infinity`` tokens are
+        not JSON — the server's strict parser (and any other one) would
+        reject them after the bytes crossed the wire; failing here is
+        earlier and typed. The size cap mirrors the server's 413
+        threshold so an oversized body costs zero network traffic.
+        """
+        try:
+            data = json.dumps(body, allow_nan=False).encode("utf-8")
+        except ValueError:
+            raise ValidationError(
+                "request contains non-finite floats that strict JSON cannot "
+                "represent; use transport='binary' to send them bit-exact"
+            ) from None
+        if len(data) > self.max_body:
+            raise PayloadTooLargeError(
+                f"JSON request body of {len(data)} bytes exceeds the "
+                f"{self.max_body}-byte cap; use transport='binary' — its "
+                "framed float64 payload is several times smaller and streamed"
+            )
+        return data
+
+    @staticmethod
+    def _early_rejection(conn):
+        """Read a response the server sent *before* consuming our body.
+
+        A server refusing a request from its headers alone (a 413 off
+        the declared Content-Length) responds and closes its read side
+        while the client is still streaming the body — the client then
+        hits EPIPE mid-send with the real answer already buffered on
+        the socket. Returns that response fully buffered (the
+        connection itself is unusable), or ``None`` if there is none.
+        """
+        try:
+            response = conn.getresponse()
+            return _BufferedResponse(
+                response.status,
+                response.read(),
+                {name.lower(): value for name, value in response.getheaders()},
+            )
+        except Exception:
+            return None
+
+    def _send_once(self, path: str, data, headers: Dict[str, str], method: str = "POST"):
+        """One request/response over the pooled connection (lock held).
+
+        Retries exactly once, and only when an idle keep-alive
+        connection turned out to be dead — the server closed it before
+        this request could have been processed. A timeout or a failure
+        on a fresh connection is NOT retried: the request may have
+        executed (predicts would run twice, reloads would double-swap).
+        ``data`` may be a zero-argument factory returning the body
+        (bytes or a chunk iterator) so a streamed body is rebuilt fresh
+        for the retry instead of resending a half-consumed generator.
+        """
+        for attempt in (0, 1):
+            reused = self._conn is not None
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                body = data() if callable(data) else data
+                self._conn.request(method, path, body=body, headers=headers)
+                return self._conn.getresponse()
+            except (http.client.HTTPException, OSError) as exc:
+                early = None
+                if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+                    early = self._early_rejection(self._conn)
+                self.close_locked()
+                if early is not None:
+                    return early
+                stale_keepalive = reused and isinstance(
+                    exc,
+                    (
+                        http.client.RemoteDisconnected,
+                        BrokenPipeError,
+                        ConnectionResetError,
+                    ),
+                )
+                if attempt or not stale_keepalive:
+                    raise ServerError(
+                        f"request to {self.host}:{self.port}{path} failed: {exc}"
+                    ) from exc
+
+    def _finish_json(self, status: int, raw: bytes, retry_after_header=None) -> dict:
+        """Parse a JSON response body; raise the typed error on >= 400."""
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServerError(f"malformed response from server: {exc}") from exc
+        if status >= 400:
+            error = payload.get("error", {}) if isinstance(payload, dict) else {}
+            exc = exception_from_wire(
+                error.get("type", "ServerError"),
+                error.get("message", f"HTTP {status}"),
+            )
+            retry_after = error.get("retry_after")
+            if retry_after is None and retry_after_header is not None:
+                retry_after = float(retry_after_header)
+            if retry_after is not None and isinstance(exc, _NOT_EXECUTED):
+                exc.retry_after = float(retry_after)
+            raise exc
+        return payload
+
     def _request_once(
         self,
         method: str,
@@ -131,59 +313,74 @@ class ServingClient:
         body: Optional[dict] = None,
         extra_headers: Optional[Dict[str, str]] = None,
     ) -> dict:
-        data = None if body is None else json.dumps(body).encode("utf-8")
+        data = None if body is None else self._encode_json(body)
         headers = {"Content-Type": "application/json"} if data is not None else {}
         headers.update(extra_headers or {})
         with self._lock:
-            for attempt in (0, 1):
-                reused = self._conn is not None
-                if self._conn is None:
-                    self._conn = http.client.HTTPConnection(
-                        self.host, self.port, timeout=self.timeout
-                    )
+            response = self._send_once(path, data, headers, method=method)
+            raw = response.read()
+        return self._finish_json(
+            response.status, raw, response.getheader("Retry-After")
+        )
+
+    def _request_binary_once(
+        self,
+        path: str,
+        meta: dict,
+        arrays: Dict[str, np.ndarray],
+        extra_headers: Optional[Dict[str, str]] = None,
+        *,
+        accept_binary: bool = True,
+    ) -> Tuple[dict, Optional[Dict[str, np.ndarray]]]:
+        """One binary-transport request: the framed message is streamed
+        as the request body (explicit Content-Length, chunk by chunk —
+        never concatenated), and a binary response is decoded
+        incrementally into preallocated arrays.
+
+        Returns ``(meta, arrays)`` for a binary response or
+        ``(payload, None)`` for a JSON one (success on a JSON-only
+        route, or any error — errors are always JSON). A response cut
+        off mid-stream raises :class:`ServerError` and is never
+        retried: the request executed.
+        """
+        plan = wire.plan_message(meta, arrays)
+        headers = {
+            "Content-Type": wire.CONTENT_TYPE,
+            "Content-Length": str(plan.length),
+        }
+        if accept_binary:
+            headers["Accept"] = wire.CONTENT_TYPE
+        headers.update(extra_headers or {})
+        with self._lock:
+            # http.client sends an iterable body verbatim when
+            # Content-Length is explicit; the factory rebuilds the
+            # generator if the stale-keepalive retry needs a second send.
+            response = self._send_once(path, plan.chunks, headers)
+            # Past this point the request EXECUTED — no retries below.
+            status = response.status
+            ctype = (response.getheader("Content-Type") or "")
+            ctype = ctype.split(";")[0].strip().lower()
+            if status < 400 and ctype == wire.CONTENT_TYPE:
                 try:
-                    self._conn.request(method, path, body=data, headers=headers)
-                    response = self._conn.getresponse()
-                    raw = response.read()
-                    break
-                except (http.client.HTTPException, OSError) as exc:
+                    message = wire.read_message(response.read)
+                    response.read()  # drain the chunked terminator so the
+                    return message   # keep-alive connection stays reusable
+                except (WireFormatError, http.client.HTTPException, OSError) as exc:
                     self.close_locked()
-                    # Retry exactly once, and only when an idle keep-alive
-                    # connection turned out to be dead — the server closed
-                    # it before this request could have been processed. A
-                    # timeout or a failure on a fresh connection is NOT
-                    # retried: the request may have executed (predicts
-                    # would run twice, reloads would double-swap).
-                    stale_keepalive = reused and isinstance(
-                        exc,
-                        (
-                            http.client.RemoteDisconnected,
-                            BrokenPipeError,
-                            ConnectionResetError,
-                        ),
-                    )
-                    if attempt or not stale_keepalive:
-                        raise ServerError(
-                            f"request to {self.host}:{self.port}{path} failed: {exc}"
-                        ) from exc
-        try:
-            payload = json.loads(raw) if raw else {}
-        except json.JSONDecodeError as exc:
-            raise ServerError(f"malformed response from server: {exc}") from exc
-        if response.status >= 400:
-            error = payload.get("error", {}) if isinstance(payload, dict) else {}
-            exc = exception_from_wire(
-                error.get("type", "ServerError"),
-                error.get("message", f"HTTP {response.status}"),
-            )
-            retry_after = error.get("retry_after")
-            if retry_after is None:
-                header = response.getheader("Retry-After")
-                retry_after = None if header is None else float(header)
-            if retry_after is not None and isinstance(exc, _NOT_EXECUTED):
-                exc.retry_after = float(retry_after)
-            raise exc
-        return payload
+                    raise ServerError(
+                        f"binary response from {self.host}:{self.port}{path} "
+                        f"was cut short: {exc}"
+                    ) from exc
+            try:
+                raw = response.read()
+            except (http.client.HTTPException, OSError) as exc:
+                self.close_locked()
+                raise ServerError(
+                    f"reading response from {self.host}:{self.port}{path} "
+                    f"failed: {exc}"
+                ) from exc
+            retry_after = response.getheader("Retry-After")
+        return self._finish_json(status, raw, retry_after), None
 
     def close_locked(self) -> None:
         """Drop the pooled connection (caller holds the lock)."""
@@ -206,6 +403,22 @@ class ServingClient:
         self.close()
 
     # ------------------------------------------------------------------- API
+    @staticmethod
+    def _validate_predict_args(
+        targets: object, z: Optional[object]
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Validate predict arrays *before* any bytes are encoded.
+
+        Ragged target lists, object dtypes, and non-numeric entries
+        raise a typed :class:`~repro.exceptions.ValidationError` naming
+        the offending argument instead of an opaque numpy conversion
+        error from deep inside the encoder.
+        """
+        targets = check_locations(targets, "targets")
+        if z is not None:
+            z = as_float_array(z, "z")
+        return targets, z
+
     def predict(
         self,
         model_id: str,
@@ -215,6 +428,7 @@ class ServingClient:
         deadline: Optional[float] = None,
         priority: int = 0,
         detail: bool = False,
+        transport: Optional[str] = None,
     ) -> np.ndarray:
         """Conditional mean at ``targets`` — the remote twin of
         :meth:`~repro.serving.service.PredictionService.predict`.
@@ -224,30 +438,217 @@ class ServingClient:
         edge and every layer below inherits the shrinking remainder.
         With ``detail``, returns ``(prediction, flags)`` where flags
         carry the server's ``degraded`` bit — true when the answer came
-        from a last-known-good engine generation.
+        from a last-known-good engine generation. ``transport``
+        overrides the client default per call (both transports return
+        bit-identical predictions; binary is several times smaller on
+        the wire and streamed).
         """
-        body = {
-            "model_id": model_id,
-            "targets": np.asarray(targets, dtype=np.float64).tolist(),
-        }
-        if z is not None:
-            body["z"] = np.asarray(z, dtype=np.float64).tolist()
-        if priority:
-            body["priority"] = int(priority)
+        targets, z = self._validate_predict_args(targets, z)
+        transport = self.transport if transport is None else str(transport)
+        if transport not in ("json", "binary"):
+            raise ConfigurationError(
+                f"transport must be 'json' or 'binary', got {transport!r}"
+            )
         headers = None
         if deadline is not None:
             headers = {"X-Repro-Deadline": f"{float(deadline):.6f}"}
-        payload = self._request("POST", "/v1/predict", body, headers)
-        prediction = np.asarray(payload["prediction"], dtype=np.float64)
+        if transport == "binary":
+            meta: dict = {"model_id": str(model_id)}
+            if priority:
+                meta["priority"] = int(priority)
+            arrays: Dict[str, np.ndarray] = {"targets": targets}
+            if z is not None:
+                arrays["z"] = z
+            payload, rarrays = self._with_policy(
+                lambda: self._request_binary_once(
+                    "/v1/predict", meta, arrays, headers
+                )
+            )
+            if rarrays is not None:
+                prediction = rarrays["prediction"]
+            else:  # a JSON 200 from a server that ignored Accept
+                prediction = np.asarray(payload["prediction"], dtype=np.float64)
+        else:
+            body = {"model_id": model_id, "targets": targets.tolist()}
+            if z is not None:
+                body["z"] = z.tolist()
+            if priority:
+                body["priority"] = int(priority)
+            payload = self._request("POST", "/v1/predict", body, headers)
+            prediction = np.asarray(payload["prediction"], dtype=np.float64)
         if detail:
             return prediction, {"degraded": bool(payload.get("degraded", False))}
         return prediction
+
+    def predict_pipelined(
+        self,
+        requests: Iterable[dict],
+        *,
+        deadline: Optional[float] = None,
+        transport: Optional[str] = None,
+    ) -> List[Optional[np.ndarray]]:
+        """Pipeline many predict requests over one fresh connection.
+
+        Every request is written to the socket before the first
+        response is read (HTTP/1.1 pipelining), so per-request
+        round-trip latency is paid once for the whole batch instead of
+        once per request. Each ``requests`` element is a dict with
+        ``model_id`` and ``targets`` plus optional ``z`` / ``priority``.
+
+        Responses come back in request order. Results are returned in
+        the same order, with ``None`` at positions whose request failed
+        with a typed error; after *all* responses are drained (the
+        stream must stay framed), the first such error is raised. Use
+        the return value only when no exception escaped.
+
+        Pipelining is inherently idempotent-only territory: nothing is
+        ever retried, and a connection that dies mid-batch raises
+        :class:`ServerError` — any request already written may have
+        executed.
+        """
+        transport = self.transport if transport is None else str(transport)
+        if transport not in ("json", "binary"):
+            raise ConfigurationError(
+                f"transport must be 'json' or 'binary', got {transport!r}"
+            )
+        prepared = []
+        for req in requests:
+            try:
+                model_id = str(req["model_id"])
+                raw_targets = req["targets"]
+            except KeyError as exc:
+                raise ValidationError(
+                    f"pipelined request is missing required key {exc}"
+                ) from None
+            targets, z = self._validate_predict_args(raw_targets, req.get("z"))
+            prepared.append((model_id, targets, z, int(req.get("priority", 0))))
+        if not prepared:
+            return []
+        host_header = f"{self.host}:{self.port}"
+        deadline_line = (
+            f"X-Repro-Deadline: {float(deadline):.6f}\r\n" if deadline is not None else ""
+        )
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ServerError(
+                f"connecting to {host_header} for pipelining failed: {exc}"
+            ) from exc
+        try:
+            # ---- write phase: every request, back to back ------------
+            for model_id, targets, z, priority in prepared:
+                if transport == "binary":
+                    meta = {"model_id": model_id}
+                    if priority:
+                        meta["priority"] = priority
+                    arrays = {"targets": targets}
+                    if z is not None:
+                        arrays["z"] = z
+                    plan = wire.plan_message(meta, arrays)
+                    head = (
+                        f"POST /v1/predict HTTP/1.1\r\n"
+                        f"Host: {host_header}\r\n"
+                        f"Content-Type: {wire.CONTENT_TYPE}\r\n"
+                        f"Accept: {wire.CONTENT_TYPE}\r\n"
+                        f"{deadline_line}"
+                        f"Content-Length: {plan.length}\r\n"
+                        f"\r\n"
+                    ).encode("latin-1")
+                    sock.sendall(head)
+                    for chunk in plan.chunks():
+                        sock.sendall(chunk)
+                else:
+                    body = {"model_id": model_id, "targets": targets.tolist()}
+                    if z is not None:
+                        body["z"] = z.tolist()
+                    if priority:
+                        body["priority"] = priority
+                    data = self._encode_json(body)
+                    head = (
+                        f"POST /v1/predict HTTP/1.1\r\n"
+                        f"Host: {host_header}\r\n"
+                        f"Content-Type: application/json\r\n"
+                        f"{deadline_line}"
+                        f"Content-Length: {len(data)}\r\n"
+                        f"\r\n"
+                    ).encode("latin-1")
+                    sock.sendall(head + data)
+            # ---- read phase: all responses off ONE shared reader -----
+            # (separate http.client responses would each buffer ahead
+            # and steal the next response's bytes)
+            fp = sock.makefile("rb")
+            results: List[Optional[np.ndarray]] = []
+            first_error: Optional[BaseException] = None
+            for _ in prepared:
+                status, headers = wire.parse_http_head(fp)
+                if "chunked" in headers.get("transfer-encoding", "").lower():
+                    reader = wire.ChunkedReader(fp)
+                else:
+                    reader = wire.BoundedReader(
+                        fp, int(headers.get("content-length", 0) or 0)
+                    )
+                ctype = headers.get("content-type", "").split(";")[0].strip().lower()
+                if status < 400 and ctype == wire.CONTENT_TYPE:
+                    _, rarrays = wire.read_message(reader.read)
+                    reader.drain()
+                    results.append(rarrays["prediction"])
+                    continue
+                chunks = []
+                while True:
+                    piece = reader.read(wire.CHUNK_SIZE)
+                    if not piece:
+                        break
+                    chunks.append(piece)
+                try:
+                    payload = self._finish_json(status, b"".join(chunks))
+                except Exception as exc:  # typed per-request error
+                    if first_error is None:
+                        first_error = exc
+                    results.append(None)
+                    continue
+                results.append(np.asarray(payload["prediction"], dtype=np.float64))
+            if first_error is not None:
+                raise first_error
+            return results
+        except WireFormatError as exc:
+            raise ServerError(
+                f"pipelined stream from {host_header} broke mid-batch: {exc} "
+                "(any request already written may have executed)"
+            ) from exc
+        except OSError as exc:
+            raise ServerError(
+                f"pipelined connection to {host_header} failed: {exc} "
+                "(any request already written may have executed)"
+            ) from exc
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
 
     def register(self, model_id: str, path: Union[str, "object"]) -> dict:
         """Register a bundle path on the owning worker."""
         return self._request(
             "POST", f"/v1/models/{self._quote(model_id)}", {"path": str(path)}
         )
+
+    def upload(self, model_id: str, bundle) -> dict:
+        """Register a :class:`~repro.serving.store.ModelBundle` by
+        uploading it over the binary transport — no shared filesystem
+        required. The server persists it into its upload directory and
+        registers the saved copy on the owning worker atomically."""
+        meta, arrays = bundle.to_payload()
+        payload, _ = self._with_policy(
+            lambda: self._request_binary_once(
+                f"/v1/models/{self._quote(model_id)}",
+                meta,
+                arrays,
+                accept_binary=False,
+            )
+        )
+        return payload
 
     def reload(self, model_id: str, path: Optional[Union[str, "object"]] = None) -> dict:
         """Hot-swap ``model_id``'s bundle (default: re-read its registered path)."""
@@ -307,9 +708,9 @@ class ServingClient:
         if bundle_path is not None:
             body["bundle_path"] = str(bundle_path)
         if locations is not None:
-            body["locations"] = np.asarray(locations, dtype=np.float64).tolist()
+            body["locations"] = check_locations(locations, "locations").tolist()
         if z is not None:
-            body["z"] = np.asarray(z, dtype=np.float64).tolist()
+            body["z"] = as_float_array(z, "z").tolist()
         return self._request("POST", "/v1/fit", body)
 
     def job(self, job_id: str, *, trace: bool = True) -> dict:

@@ -41,7 +41,14 @@ Endpoints
 ---------
 ``POST /v1/predict``
     ``{"model_id", "targets", "z"?, "deadline"?, "priority"?}`` →
-    ``{"model_id", "prediction", "worker"}``.
+    ``{"model_id", "prediction", "worker"}``. Speaks two transports,
+    negotiated per side (see :mod:`repro.serving.wire`): a
+    ``Content-Type: application/x-repro-npy`` request body is a binary
+    framed message (meta + raw float64 ``targets``/``z`` arrays), and
+    an ``Accept: application/x-repro-npy`` response is the prediction
+    streamed back as chunked binary frames — bit-exact, several times smaller
+    than JSON, decoded into one preallocated array. JSON stays the
+    default (and the debug surface); error responses are always JSON.
 ``GET /healthz``
     Liveness of the router and every worker process.
 ``GET /v1/models``
@@ -49,7 +56,10 @@ Endpoints
 ``GET /v1/metrics``
     Per-worker service metrics + registry stats, plus fleet aggregates.
 ``POST /v1/models/<id>``
-    Register a bundle path on the owning worker: ``{"path"}``.
+    Register a bundle path on the owning worker: ``{"path"}`` — or,
+    with a binary Content-Type, register-by-upload: the body is the
+    bundle itself (:meth:`ModelBundle.to_payload` as a wire message),
+    persisted server-side and registered atomically.
 ``POST /v1/models/<id>/reload``
     Hot-swap the model's bundle: ``{"path"?}`` (default: re-read the
     registered path).
@@ -102,12 +112,16 @@ from ..exceptions import (
     JobNotFoundError,
     LoadShedError,
     ModelNotFoundError,
+    PayloadTooLargeError,
+    PredictionError,
     ReproError,
     ServerError,
     ServiceClosedError,
     ServiceOverloadedError,
     ServingError,
     ShapeError,
+    ValidationError,
+    WireFormatError,
 )
 from ..fitting.jobs import FitJobSpec, JobStore
 from ..fitting.orchestrator import FitOrchestrator
@@ -115,8 +129,10 @@ from ..resilience.breaker import AdmissionGate, CircuitBreaker
 from ..resilience.faults import fault_point
 from ..resilience.policy import Deadline, RetryPolicy
 from ..utils.logging import get_logger
+from . import wire
 from .registry import ModelRegistry, _stable_shard
 from .service import PredictionService
+from .store import ModelBundle
 
 __all__ = ["ServingServer", "status_for_exception", "exception_from_wire"]
 
@@ -136,12 +152,16 @@ _WIRE_EXCEPTIONS: Dict[str, type] = {
         JobNotFoundError,
         LoadShedError,
         ModelNotFoundError,
+        PayloadTooLargeError,
+        PredictionError,
         ReproError,
         ServerError,
         ServiceClosedError,
         ServiceOverloadedError,
         ServingError,
         ShapeError,
+        ValidationError,
+        WireFormatError,
         ValueError,
         TypeError,
         KeyError,
@@ -164,7 +184,11 @@ _STATUS_BY_EXCEPTION: Tuple[Tuple[type, int], ...] = (
     (ConfigurationError, 400),
     (FittingError, 400),
     (InjectedFaultError, 500),
+    (PayloadTooLargeError, 413),
+    (PredictionError, 500),
+    (WireFormatError, 400),
     (ShapeError, 400),
+    (ValidationError, 400),
     (ServerError, 502),
     (ValueError, 400),
     (TypeError, 400),
@@ -461,11 +485,45 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
     # ---------------------------------------------------------------- plumbing
+    def _content_length(self) -> int:
+        """The request's validated body length.
+
+        Malformed or negative declarations raise ``ValueError`` (→ 400)
+        instead of leaking as a 500; declarations over the server's
+        ``max_body`` cap raise :class:`PayloadTooLargeError` (→ 413)
+        *before a single body byte is read*, so an oversized upload
+        costs the server a header parse, not a buffered gigabyte.
+        """
+        server: "ServingServer" = self.server.owner  # type: ignore[attr-defined]
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            return 0
+        try:
+            length = int(raw)
+        except (TypeError, ValueError):
+            raise ValueError(f"malformed Content-Length header {raw!r}") from None
+        if length < 0:
+            raise ValueError(f"negative Content-Length {length}")
+        if length > server.max_body:
+            hint = ""
+            if not self._is_binary_request():
+                hint = (
+                    f" — the binary transport (Content-Type: {wire.CONTENT_TYPE})"
+                    " is several times smaller and streamed"
+                )
+            raise PayloadTooLargeError(
+                f"request body of {length} bytes exceeds the server's "
+                f"{server.max_body}-byte cap (serving_max_body){hint}"
+            )
+        return length
+
     def _body(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0) or 0)
+        length = self._content_length()
         if length == 0:
+            self._body_read = True
             return {}
         raw = self.rfile.read(length)
+        self._body_read = True
         try:
             body = json.loads(raw)
         except json.JSONDecodeError as exc:
@@ -474,10 +532,69 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return body
 
+    def _is_binary_request(self) -> bool:
+        ctype = (self.headers.get("Content-Type") or "").split(";")[0].strip().lower()
+        return ctype == wire.CONTENT_TYPE
+
+    def _wants_binary(self) -> bool:
+        return wire.CONTENT_TYPE in (self.headers.get("Accept") or "")
+
+    def _read_binary(self, deadline: Optional[Deadline]):
+        """Decode a binary request body into ``(meta, arrays)``.
+
+        The read is bounded by the (already capped) Content-Length and
+        decoded incrementally into preallocated arrays; a decode error
+        drains the remaining body so the keep-alive connection stays
+        usable for the error reply and the next request.
+        """
+        server: "ServingServer" = self.server.owner  # type: ignore[attr-defined]
+        length = self._content_length()
+        if length == 0:
+            self._body_read = True
+            raise WireFormatError("binary request carries an empty body")
+        reader = wire.BoundedReader(self.rfile, length)
+        try:
+            return wire.read_message(
+                reader.read, max_bytes=server.max_body, deadline=deadline
+            )
+        finally:
+            try:
+                reader.drain()
+                self._body_read = True
+            except OSError:
+                self.close_connection = True
+
+    def _drain_body(self) -> None:
+        """Read and discard the body (unrouted requests keep framing sane)."""
+        length = self._content_length()
+        if length:
+            wire.BoundedReader(self.rfile, length).drain()
+        self._body_read = True
+
     def _reply(
         self, status: int, payload: dict, headers: Optional[Dict[str, str]] = None
     ) -> None:
-        data = json.dumps(payload).encode("utf-8")
+        try:
+            data = json.dumps(payload, allow_nan=False).encode("utf-8")
+        except ValueError:
+            # A non-finite float slipped past the typed checks. Plain
+            # json.dumps would emit bare NaN/Infinity tokens — which are
+            # not JSON and explode in strict parsers — so degrade to a
+            # typed error instead of ever sending an unparseable body.
+            status, headers = 500, None
+            data = json.dumps(
+                {
+                    "error": {
+                        "type": "PredictionError",
+                        "message": (
+                            "response contains non-finite floats that strict "
+                            "JSON cannot represent; use the binary transport "
+                            f"(Accept: {wire.CONTENT_TYPE}) to receive them "
+                            "bit-exact"
+                        ),
+                    }
+                }
+            ).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
@@ -485,6 +602,40 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
+
+    def _reply_binary(
+        self,
+        meta: dict,
+        arrays: Dict[str, np.ndarray],
+        deadline: Optional[Deadline] = None,
+    ) -> None:
+        """Stream a binary message as a chunked 200 response."""
+        self._streamed = True
+        self.send_response(200)
+        self.send_header("Content-Type", wire.CONTENT_TYPE)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        wire.write_chunked(
+            self.wfile, wire.iter_message(meta, arrays), deadline=deadline
+        )
+
+    def _safe_error(self, exc: BaseException) -> None:
+        """Report ``exc`` to the client without ever corrupting the stream.
+
+        Once a chunked binary response has started, its status line is
+        gone — the only honest signal left is killing the connection so
+        the client sees truncation (a typed wire error) instead of a
+        silently short prediction. An error raised *before* the body
+        was consumed (413, malformed Content-Length) likewise closes
+        the connection: unread body bytes would desync the next
+        keep-alive request.
+        """
+        if getattr(self, "_streamed", False):
+            self.close_connection = True
+            return
+        if not getattr(self, "_body_read", False):
+            self.close_connection = True
+        self._reply_error(exc)
 
     def _reply_error(self, exc: BaseException) -> None:
         error = {"type": type(exc).__name__, "message": str(exc)}
@@ -542,35 +693,62 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         server: "ServingServer" = self.server.owner  # type: ignore[attr-defined]
         try:
-            body = self._body()
+            # The deadline header is parsed at the very edge — before
+            # the body is read — so streamed body reads already run
+            # under the client's budget, and it wins over the body's
+            # ``deadline`` field (proxies can impose a budget without
+            # re-encoding the payload).
+            deadline = Deadline.from_header(self.headers.get("X-Repro-Deadline"))
             if self.path == "/v1/predict":
-                # The deadline header wins over the body field: proxies
-                # can impose a budget without re-encoding the payload.
-                header = self.headers.get("X-Repro-Deadline")
-                budget = float(header) if header is not None else body.get("deadline")
-                self._reply(200, server.predict_request(body, budget=budget))
+                self._predict_route(server, deadline)
                 return
             if self.path == "/v1/fit":
-                self._reply(200, server.fit_request(body))
+                self._reply(200, server.fit_request(self._body()))
                 return
             # Split on raw '/', then decode each segment: a model id with
             # an encoded '/' (%2F) stays one segment and routes correctly.
             parts = [urllib.parse.unquote(p) for p in self.path.split("/") if p]
             if len(parts) >= 2 and parts[0] == "v1" and parts[1] == "models":
                 if len(parts) == 3:
-                    self._reply(200, server.register_request(parts[2], body))
+                    if self._is_binary_request():
+                        # Register-by-upload: the body IS the bundle.
+                        meta, arrays = self._read_binary(deadline)
+                        self._reply(
+                            200,
+                            server.register_upload_request(parts[2], meta, arrays),
+                        )
+                    else:
+                        self._reply(200, server.register_request(parts[2], self._body()))
                     return
                 if len(parts) == 4 and parts[3] == "reload":
-                    self._reply(200, server.reload_request(parts[2], body))
+                    self._reply(200, server.reload_request(parts[2], self._body()))
                     return
                 if len(parts) == 4 and parts[3] == "policy":
-                    self._reply(200, server.policy_request(parts[2], body))
+                    self._reply(200, server.policy_request(parts[2], self._body()))
                     return
+            self._drain_body()
             self._reply_no_route()
         except ConnectionError:  # client went away mid-reply: drop quietly
             pass
         except BaseException as exc:  # noqa: BLE001 - reported to the client
-            self._reply_error(exc)
+            self._safe_error(exc)
+
+    def _predict_route(self, server: "ServingServer", deadline: Optional[Deadline]) -> None:
+        """``POST /v1/predict`` with per-side transport negotiation:
+        Content-Type picks the request decoder, Accept picks the
+        response encoder, and the two compose freely."""
+        if self._is_binary_request():
+            meta, arrays = self._read_binary(deadline)
+            body = dict(meta)
+            body.update(arrays)
+        else:
+            body = self._body()
+        if self._wants_binary():
+            out = server.predict_arrays_request(body, deadline=deadline)
+            prediction = out.pop("prediction")
+            self._reply_binary(out, {"prediction": prediction}, deadline)
+        else:
+            self._reply(200, server.predict_request(body, deadline=deadline))
 
 
 class _Server(ThreadingHTTPServer):
@@ -640,6 +818,17 @@ class ServingServer:
         the cap are shed immediately with 503 + ``Retry-After``
         (:class:`~repro.exceptions.LoadShedError`) instead of queueing
         without bound; admin and fit routes are never shed.
+    max_body:
+        Byte cap on a single request body (default: configured
+        ``serving_max_body``). Larger declared bodies are answered 413
+        (:class:`~repro.exceptions.PayloadTooLargeError`) before a
+        single body byte is read.
+    upload_dir:
+        Directory binary register-by-upload bundles are persisted in.
+        Default: a fresh temporary directory removed at :meth:`stop`
+        (models registered from it roll back to their last external
+        bundle, like ephemeral ``jobs_dir`` refits). Pass a real path
+        to keep uploaded bundles across restarts.
 
     Examples
     --------
@@ -664,6 +853,8 @@ class ServingServer:
         fit_options: Optional[dict] = None,
         max_worker_restarts: int = 2,
         max_inflight: Optional[int] = None,
+        max_body: Optional[int] = None,
+        upload_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         cfg = get_config()
         self.num_workers = cfg.serving_workers if num_workers is None else int(num_workers)
@@ -676,6 +867,11 @@ class ServingServer:
         if max_worker_restarts < 0:
             raise ConfigurationError(
                 f"max_worker_restarts must be >= 0, got {max_worker_restarts}"
+            )
+        self.max_body = cfg.serving_max_body if max_body is None else int(max_body)
+        if self.max_body < 1024:
+            raise ConfigurationError(
+                f"max_body must be >= 1024 bytes, got {self.max_body}"
             )
         self.host = host
         self._requested_port = int(port)
@@ -690,6 +886,9 @@ class ServingServer:
         self.fit_options = FitOrchestrator.validate_options(fit_options)
         self._jobs_dir = None if jobs_dir is None else Path(jobs_dir)
         self._jobs_dir_owned = False
+        self._upload_dir = None if upload_dir is None else Path(upload_dir)
+        self._upload_dir_owned = False
+        self._upload_ids = itertools.count()
         self._fit_store: Optional[JobStore] = None
         self._orchestrator: Optional[FitOrchestrator] = None
         self._models = {str(mid): str(Path(p)) for mid, p in (models or {}).items()}
@@ -771,6 +970,11 @@ class ServingServer:
                     + ("died during startup" if ready else
                        f"failed to start within {ready_timeout}s")
                 )
+        if self._upload_dir is None:
+            self._upload_dir = Path(tempfile.mkdtemp(prefix="repro-uploads-"))
+            self._upload_dir_owned = True
+        else:
+            self._upload_dir.mkdir(parents=True, exist_ok=True)
         if self.enable_fitting:
             if self._jobs_dir is None:
                 self._jobs_dir = Path(tempfile.mkdtemp(prefix="repro-fit-jobs-"))
@@ -812,20 +1016,33 @@ class ServingServer:
             # running) must not survive into the next start() as paths
             # to nowhere. Durable deployments pass jobs_dir= and keep
             # their refit bundles across restarts.
-            doomed = str(self._jobs_dir)
-            for mid, path in list(self._models.items()):
-                if str(path).startswith(doomed):
-                    external = self._external_paths.get(mid)
-                    if external is None:
-                        del self._models[mid]
-                    else:
-                        self._models[mid] = external
-            shutil.rmtree(self._jobs_dir, ignore_errors=True)
+            self._discard_ephemeral_dir(self._jobs_dir)
             self._jobs_dir = None
             self._jobs_dir_owned = False
+        if self._upload_dir_owned and self._upload_dir is not None:
+            # Same rule for the binary register-by-upload staging dir:
+            # bundles uploaded over the wire are only as durable as the
+            # directory they were saved into.
+            self._discard_ephemeral_dir(self._upload_dir)
+            self._upload_dir = None
+            self._upload_dir_owned = False
         workers, self._workers = self._workers, []
         for handle in workers:
             handle.stop()
+
+    def _discard_ephemeral_dir(self, root: Path) -> None:
+        """Delete an owned scratch dir, rolling every model whose
+        registered path points into it back to its last external bundle
+        (or dropping it when there is none)."""
+        doomed = str(root)
+        for mid, path in list(self._models.items()):
+            if str(path).startswith(doomed):
+                external = self._external_paths.get(mid)
+                if external is None:
+                    del self._models[mid]
+                else:
+                    self._models[mid] = external
+        shutil.rmtree(root, ignore_errors=True)
 
     def __enter__(self) -> "ServingServer":
         return self.start()
@@ -936,14 +1153,26 @@ class ServingServer:
             return result
 
     # ------------------------------------------------------------ operations
-    def predict_request(self, body: dict, *, budget: Optional[float] = None) -> dict:
-        """Route one predict body to its worker; arrays go over the pipe.
+    def predict_arrays_request(
+        self,
+        body: dict,
+        *,
+        budget: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> dict:
+        """Route one predict body to its worker; arrays stay arrays.
 
-        ``budget`` (seconds, from the ``X-Repro-Deadline`` header or the
-        body's ``deadline`` field) becomes an absolute
-        :class:`Deadline` here, at the edge — every layer below (pipe
-        wait, worker queue, engine executor) re-derives the time
-        remaining from it rather than granting itself a fresh timeout.
+        The transport-neutral core: ``body`` may hold targets/z as
+        lists (JSON) or ndarrays (binary), and the returned
+        ``prediction`` is the worker's float64 array untouched — the
+        binary transport streams it bit-exact, :meth:`predict_request`
+        finite-checks and listifies it for JSON.
+
+        An absolute :class:`Deadline` wins over ``budget`` (seconds)
+        wins over the body's ``deadline`` field; whichever is set is
+        resolved here, at the edge — every layer below (pipe wait,
+        worker queue, engine executor) re-derives the time remaining
+        from it rather than granting itself a fresh timeout.
         """
         with self._gate.admit():
             try:
@@ -954,9 +1183,10 @@ class ServingServer:
                     f"predict body is missing required key {exc}"
                 ) from None
             z = body.get("z")
-            if budget is None:
-                budget = body.get("deadline")
-            deadline = Deadline.after(None if budget is None else float(budget))
+            if deadline is None:
+                if budget is None:
+                    budget = body.get("deadline")
+                deadline = Deadline.after(None if budget is None else float(budget))
             payload = {
                 "model_id": model_id,
                 "targets": targets,
@@ -967,10 +1197,34 @@ class ServingServer:
             result = self._request(model_id, "predict", payload, deadline=deadline)
             return {
                 "model_id": model_id,
-                "prediction": np.asarray(result["prediction"]).tolist(),
+                "prediction": np.asarray(result["prediction"], dtype=np.float64),
                 "degraded": bool(result["degraded"]),
                 "worker": self.worker_for(model_id),
             }
+
+    def predict_request(
+        self,
+        body: dict,
+        *,
+        budget: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> dict:
+        """JSON-shaped predict: :meth:`predict_arrays_request` plus the
+        strict-JSON contract. A non-finite prediction raises a typed
+        :class:`PredictionError` here instead of being serialized into
+        bare ``NaN``/``Infinity`` tokens no strict parser accepts."""
+        out = self.predict_arrays_request(body, budget=budget, deadline=deadline)
+        prediction = out["prediction"]
+        finite = np.isfinite(prediction)
+        if not finite.all():
+            bad = int(prediction.size - np.count_nonzero(finite))
+            raise PredictionError(
+                f"model {out['model_id']!r} produced {bad} non-finite "
+                f"prediction value(s) out of {prediction.size}; strict JSON "
+                "cannot represent NaN/inf — use the binary transport "
+                f"(Accept: {wire.CONTENT_TYPE}) to receive them bit-exact"
+            )
+        return dict(out, prediction=prediction.tolist())
 
     def register_request(self, model_id: str, body: dict) -> dict:
         try:
@@ -982,6 +1236,38 @@ class ServingServer:
         # failed registration never survives into the next start().
         self._commit_model_path(model_id, path)
         result["worker"] = self.worker_for(model_id)
+        return result
+
+    def register_upload_request(
+        self, model_id: str, meta: dict, arrays: Dict[str, np.ndarray]
+    ) -> dict:
+        """Register a model from an uploaded binary bundle payload.
+
+        The decoded wire message is the bundle's own serialization
+        (:meth:`~repro.serving.store.ModelBundle.to_payload`), so the
+        upload is validated by the same code path as an on-disk load,
+        persisted into the server's upload directory with the store's
+        commit-marker discipline, and only then registered on the
+        owning worker. A worker that refuses the registration deletes
+        the staged bundle again — no half-written registry state.
+        """
+        if not self._started:
+            raise ServiceClosedError("server is not running (use start() or 'with')")
+        bundle = ModelBundle.from_payload(meta, arrays)
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in model_id)
+        path = Path(self._upload_dir) / f"{safe or 'model'}-{next(self._upload_ids)}.bundle"
+        bundle.save(path)
+        try:
+            result = self._request(
+                model_id, "register", {"model_id": model_id, "path": str(path)}
+            )
+        except BaseException:
+            shutil.rmtree(path, ignore_errors=True)
+            raise
+        self._commit_model_path(model_id, str(path))
+        result["worker"] = self.worker_for(model_id)
+        result["path"] = str(path)
+        result["n"] = bundle.n
         return result
 
     def reload_request(self, model_id: str, body: dict) -> dict:
@@ -1003,6 +1289,10 @@ class ServingServer:
             self._jobs_dir_owned
             and self._jobs_dir is not None
             and path.startswith(str(self._jobs_dir))
+        ) or (
+            self._upload_dir_owned
+            and self._upload_dir is not None
+            and path.startswith(str(self._upload_dir))
         )
         if not ephemeral:
             self._external_paths[model_id] = path

@@ -207,19 +207,15 @@ class ModelBundle:
         self.compression_method = self.compression_method or cfg.compression_method
         self.truncation = self.truncation or cfg.truncation
 
-    # ----------------------------------------------------------------- save
-    def save(self, path: Union[str, Path]) -> Path:
-        """Write the bundle directory (``meta.json`` + ``arrays.npz``).
-
-        ``arrays.npz`` (the long write — factors are O(n²)) lands
-        first and ``meta.json`` last, so the metadata's existence is
-        the commit marker: a writer killed mid-save leaves a directory
-        that readers — and the fit orchestrator's finalize check —
-        recognize as incomplete rather than a torn bundle that loads
-        half-way.
+    # -------------------------------------------------------------- payload
+    def to_payload(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """The bundle as ``(meta, arrays)`` — the serialization both the
+        on-disk format (:meth:`save`) and the binary wire transport
+        (register-by-upload) share. ``meta`` is everything scalar
+        (JSON-able, without file checksums); ``arrays`` holds every
+        array under the structured key scheme (``factor_tile_i_j``,
+        ``dist_r0_r1_c0_c1``, ...).
         """
-        path = Path(path)
-        path.mkdir(parents=True, exist_ok=True)
         arrays: Dict[str, np.ndarray] = {"locations": self.locations}
         if self.z is not None:
             arrays["z"] = self.z
@@ -251,6 +247,75 @@ class ModelBundle:
             "has_full_distances": self.full_distances is not None,
             "info": dict(self.info),
         }
+        return meta, arrays
+
+    @classmethod
+    def from_payload(cls, meta: dict, arrays: Dict[str, np.ndarray]) -> "ModelBundle":
+        """Rebuild a bundle from :meth:`to_payload` output (or from a
+        decoded wire message / a read ``meta.json`` + ``arrays.npz``
+        pair). Raises :class:`BundleError` on version or structure
+        problems."""
+        if not isinstance(meta, dict):
+            raise BundleError(
+                f"bundle meta must be an object, got {type(meta).__name__}"
+            )
+        version = meta.get("format_version")
+        if version != FORMAT_VERSION:
+            raise BundleError(
+                f"bundle format version {version!r} unsupported "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        missing = [key for key in ("model", "substrate", "n") if key not in meta]
+        if missing:
+            raise BundleError(f"bundle meta is missing {missing}")
+        try:
+            sub = meta["substrate"]
+            if not isinstance(sub, dict):
+                raise BundleError(
+                    f"substrate section must be an object, got {type(sub).__name__}"
+                )
+            if "locations" not in arrays:
+                raise BundleError("bundle payload is missing the locations array")
+            bundle = cls(
+                model=model_from_spec(meta["model"]),
+                locations=arrays["locations"],
+                z=arrays.get("z"),
+                variant=sub["variant"],
+                acc=sub["acc"],
+                tile_size=sub["tile_size"],
+                compression_method=sub["compression_method"],
+                truncation=sub["truncation"],
+                info=dict(meta.get("info", {})),
+            )
+            bundle.factor = cls._unpack_factor(meta, arrays, bundle)
+        except KeyError as exc:
+            raise BundleError(
+                f"bundle payload is malformed: missing required key {exc}"
+            ) from exc
+        blocks = {
+            tuple(int(p) for p in name.split("_")[1:]): arr
+            for name, arr in arrays.items()
+            if name.startswith("dist_")
+        }
+        bundle.distance_blocks = blocks or None
+        bundle.full_distances = arrays.get("full_distances")
+        bundle.perm = arrays.get("perm")
+        return bundle
+
+    # ----------------------------------------------------------------- save
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the bundle directory (``meta.json`` + ``arrays.npz``).
+
+        ``arrays.npz`` (the long write — factors are O(n²)) lands
+        first and ``meta.json`` last, so the metadata's existence is
+        the commit marker: a writer killed mid-save leaves a directory
+        that readers — and the fit orchestrator's finalize check —
+        recognize as incomplete rather than a torn bundle that loads
+        half-way.
+        """
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        meta, arrays = self.to_payload()
         arrays_tmp = path / (ARRAYS_NAME + ".tmp")
         with arrays_tmp.open("wb") as fh:
             np.savez(fh, **arrays)
@@ -308,17 +373,6 @@ class ModelBundle:
             raise BundleError(
                 f"{meta_path} must hold a JSON object, got {type(meta).__name__}"
             )
-        version = meta.get("format_version")
-        if version != FORMAT_VERSION:
-            raise BundleError(
-                f"bundle format version {version!r} unsupported "
-                f"(this build reads version {FORMAT_VERSION})"
-            )
-        missing = [key for key in ("model", "substrate", "n") if key not in meta]
-        if missing:
-            raise BundleError(
-                f"bundle at {path} is malformed: meta.json is missing {missing}"
-            )
         fault_point("store.load", path=str(arrays_path))
         checksums = meta.get("checksums")
         if isinstance(checksums, dict) and ARRAYS_NAME in checksums:
@@ -341,36 +395,9 @@ class ModelBundle:
                 f"({type(exc).__name__}: {exc}); quarantined at {quarantined}"
             ) from exc
         try:
-            sub = meta["substrate"]
-            if not isinstance(sub, dict):
-                raise BundleError(
-                    f"substrate section must be an object, got {type(sub).__name__}"
-                )
-            bundle = cls(
-                model=model_from_spec(meta["model"]),
-                locations=arrays["locations"],
-                z=arrays.get("z"),
-                variant=sub["variant"],
-                acc=sub["acc"],
-                tile_size=sub["tile_size"],
-                compression_method=sub["compression_method"],
-                truncation=sub["truncation"],
-                info=dict(meta.get("info", {})),
-            )
-            bundle.factor = cls._unpack_factor(meta, arrays, bundle)
-        except KeyError as exc:
-            raise BundleError(
-                f"bundle at {path} is malformed: missing required key {exc}"
-            ) from exc
-        blocks = {
-            tuple(int(p) for p in name.split("_")[1:]): arr
-            for name, arr in arrays.items()
-            if name.startswith("dist_")
-        }
-        bundle.distance_blocks = blocks or None
-        bundle.full_distances = arrays.get("full_distances")
-        bundle.perm = arrays.get("perm")
-        return bundle
+            return cls.from_payload(meta, arrays)
+        except BundleError as exc:
+            raise BundleError(f"bundle at {path} is malformed: {exc}") from exc
 
     @staticmethod
     def _unpack_factor(meta: dict, arrays: Dict[str, np.ndarray], bundle: "ModelBundle"):

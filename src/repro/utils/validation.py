@@ -11,7 +11,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..exceptions import ShapeError
+from ..exceptions import ShapeError, ValidationError
 
 __all__ = [
     "as_float_array",
@@ -26,6 +26,11 @@ __all__ = [
 def as_float_array(x: object, name: str = "array", *, copy: bool = False) -> np.ndarray:
     """Convert ``x`` to a C-contiguous float64 ndarray.
 
+    Ragged or otherwise non-numeric input (a list of unequal-length
+    rows, object dtype, strings) raises a typed
+    :class:`~repro.exceptions.ValidationError` naming ``name`` instead
+    of numpy's opaque conversion error.
+
     Parameters
     ----------
     x:
@@ -35,9 +40,14 @@ def as_float_array(x: object, name: str = "array", *, copy: bool = False) -> np.
     copy:
         Force a copy even when ``x`` is already a float64 array.
     """
-    arr = np.array(x, dtype=np.float64, copy=copy, order="C") if copy else np.ascontiguousarray(
-        np.asarray(x, dtype=np.float64)
-    )
+    try:
+        arr = np.array(x, dtype=np.float64, copy=copy, order="C") if copy else (
+            np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+        )
+    except (ValueError, TypeError) as exc:
+        raise ValidationError(
+            f"{name} is not a numeric array (ragged or non-numeric input): {exc}"
+        ) from None
     if not np.all(np.isfinite(arr)):
         raise ShapeError(f"{name} contains non-finite values")
     return arr

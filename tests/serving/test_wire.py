@@ -1,0 +1,395 @@
+"""Unit tests for the framed binary wire codec (`repro.serving.wire`).
+
+Everything here is pure codec — no HTTP, no server. The transport
+contract proven end-to-end in ``test_transport.py`` rests on these
+properties: bit-exact round-trips (including NaN/inf and Fortran
+memory order), exact ``encoded_length``, incremental single-allocation
+decode, and typed errors for every malformed-stream shape a dropped
+connection or hostile peer can produce.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    PayloadTooLargeError,
+    WireFormatError,
+)
+from repro.resilience.policy import Deadline
+from repro.serving import wire
+
+
+def _roundtrip(meta, arrays=None, **kwargs):
+    blob = wire.encode_message(meta, arrays)
+    return wire.read_message(io.BytesIO(blob).read, **kwargs)
+
+
+# --------------------------------------------------------------------------
+# Round-trips
+# --------------------------------------------------------------------------
+
+
+def test_roundtrip_meta_only():
+    meta, arrays = _roundtrip({"model_id": "m", "priority": 2})
+    assert meta == {"model_id": "m", "priority": 2}
+    assert arrays == {}
+
+
+def test_roundtrip_arrays_bit_exact():
+    rng = np.random.default_rng(0)
+    sent = {
+        "targets": rng.random((100, 2)),
+        "z": rng.standard_normal(144),
+        "idx": np.arange(7, dtype=np.int64),
+    }
+    meta, got = _roundtrip({"model_id": "m"}, sent)
+    assert set(got) == set(sent)
+    for name, arr in sent.items():
+        assert got[name].dtype == arr.dtype
+        assert got[name].shape == arr.shape
+        np.testing.assert_array_equal(got[name], arr)
+
+
+def test_roundtrip_nan_inf_bit_exact():
+    """The values strict JSON cannot represent at all cross bit-exact."""
+    sent = np.array([np.nan, np.inf, -np.inf, -0.0, 1e308, 5e-324])
+    _, got = _roundtrip({}, {"p": sent})
+    assert got["p"].tobytes() == sent.tobytes()
+
+
+def test_roundtrip_preserves_fortran_order():
+    """A LAPACK-style F-ordered factor must come back F-ordered:
+    downstream BLAS picks code paths by memory layout, so a transpose
+    copy would shift predictions by an ulp."""
+    factor = np.asfortranarray(np.random.default_rng(1).random((12, 12)))
+    _, got = _roundtrip({}, {"factor": factor})
+    assert got["factor"].flags["F_CONTIGUOUS"]
+    assert not got["factor"].flags["C_CONTIGUOUS"]
+    np.testing.assert_array_equal(got["factor"], factor)
+
+
+def test_roundtrip_noncontiguous_and_scalarish_inputs():
+    base = np.random.default_rng(2).random((10, 6))
+    sent = {
+        "strided": base[::2, ::3],       # non-contiguous view
+        "listy": [[1.0, 2.0], [3.0, 4.0]],
+        "scalar": 7.5,                   # 0-d array on the wire
+        "i32": np.arange(5, dtype=np.int32),
+    }
+    _, got = _roundtrip({}, sent)
+    np.testing.assert_array_equal(got["strided"], base[::2, ::3])
+    np.testing.assert_array_equal(got["listy"], np.asarray(sent["listy"]))
+    assert got["scalar"].shape == ()
+    assert float(got["scalar"]) == 7.5
+    assert got["i32"].dtype == np.dtype("<i8")
+    np.testing.assert_array_equal(got["i32"], np.arange(5))
+
+
+def test_roundtrip_empty_array():
+    _, got = _roundtrip({}, {"empty": np.empty((0, 2))})
+    assert got["empty"].shape == (0, 2)
+
+
+def test_encoded_length_is_exact():
+    rng = np.random.default_rng(3)
+    cases = [
+        ({"a": 1}, None),
+        ({}, {"x": rng.random(1000)}),
+        ({"m": "id"}, {"x": rng.random((50, 3)),
+                       "f": np.asfortranarray(rng.random((8, 8)))}),
+    ]
+    for meta, arrays in cases:
+        blob = wire.encode_message(meta, arrays)
+        assert wire.encoded_length(meta, arrays) == len(blob)
+
+
+def test_meta_rejects_non_finite_floats():
+    with pytest.raises(WireFormatError, match="non-finite"):
+        wire.encode_message({"bad": float("nan")})
+
+
+# --------------------------------------------------------------------------
+# Streaming behavior
+# --------------------------------------------------------------------------
+
+
+def test_iter_message_chunks_are_bounded():
+    payload = np.random.default_rng(4).random(100_000)  # 800 kB
+    chunks = list(wire.iter_message({}, {"p": payload}, chunk_size=4096))
+    # Frame heads+headers ride with small chunks; payload slices obey the cap.
+    assert max(len(c) for c in chunks) <= 4096 + 256
+    assert b"".join(bytes(c) for c in chunks) == wire.encode_message({}, {"p": payload})
+
+
+def test_read_message_survives_tiny_reads():
+    """A peer dribbling one byte at a time still decodes correctly."""
+    sent = np.random.default_rng(5).random((17, 3))
+    blob = wire.encode_message({"m": "x"}, {"t": sent})
+    stream = io.BytesIO(blob)
+
+    def dribble(n):
+        return stream.read(min(n, 1))
+
+    meta, got = wire.read_message(dribble)
+    assert meta == {"m": "x"}
+    np.testing.assert_array_equal(got["t"], sent)
+
+
+def test_read_message_deadline_checked_mid_stream():
+    blob = wire.encode_message({}, {"p": np.zeros(100_000)})
+    expired = Deadline.after(-1.0)
+    with pytest.raises(DeadlineExceededError):
+        wire.read_message(io.BytesIO(blob).read, deadline=expired, chunk_size=4096)
+
+
+def test_write_chunked_roundtrips_through_chunked_reader():
+    sent = np.random.default_rng(6).random((200, 4))
+    body = io.BytesIO()
+    wire.write_chunked(body, wire.iter_message({"ok": True}, {"t": sent},
+                                              chunk_size=1024))
+    body.seek(0)
+    reader = wire.ChunkedReader(io.BufferedReader(io.BytesIO(body.getvalue())))
+    meta, got = wire.read_message(reader.read)
+    assert meta == {"ok": True}
+    np.testing.assert_array_equal(got["t"], sent)
+    reader.drain()
+    assert reader.read(1) == b""  # positioned past the terminal chunk
+
+
+def test_bounded_reader_stops_at_its_length():
+    fp = io.BytesIO(b"abcdefghij" + b"NEXT-REQUEST")
+    reader = wire.BoundedReader(fp, 10)
+    assert reader.read(4) == b"abcd"
+    reader.drain()
+    assert reader.read(100) == b""
+    assert fp.read(4) == b"NEXT"  # the next pipelined request is untouched
+
+
+# --------------------------------------------------------------------------
+# Transparent deflate compression
+# --------------------------------------------------------------------------
+
+
+def _grid_targets(k):
+    xs = np.linspace(0.0, 1.0, k)
+    gx, gy = np.meshgrid(xs, xs, indexing="ij")
+    return np.column_stack([gx.ravel(), gy.ravel()])
+
+
+def test_structured_payload_compresses_and_roundtrips_bit_exact():
+    """Map-grid coordinates (the bulk kriging-output workload) must ship
+    deflate-compressed — several times smaller — and still bit-exact."""
+    grid = _grid_targets(120)
+    plain = wire.encoded_length({}, {"targets": grid}, compress=False)
+    packed = wire.encoded_length({}, {"targets": grid})
+    assert packed < plain / 4
+    _, got = _roundtrip({}, {"targets": grid})
+    assert got["targets"].tobytes() == grid.tobytes()
+
+
+def test_incompressible_payload_ships_raw():
+    """Random mantissas don't deflate: the probe must decline, keeping
+    the wire within a hair of the raw payload."""
+    noise = np.random.default_rng(8).random(50_000)
+    packed = wire.encoded_length({}, {"z": noise})
+    assert packed <= noise.nbytes + 512
+
+
+def test_compress_false_forces_raw():
+    grid = _grid_targets(64)
+    assert wire.encoded_length({}, {"t": grid}, compress=False) >= grid.nbytes
+
+
+def test_plan_message_is_reusable():
+    """``chunks()`` must be re-iterable — the retry path rebuilds the
+    streamed body from the same plan."""
+    plan = wire.plan_message({"m": 1}, {"t": _grid_targets(40)})
+    first = b"".join(bytes(c) for c in plan.chunks())
+    second = b"".join(bytes(c) for c in plan.chunks())
+    assert first == second
+    assert len(first) == plan.length
+
+
+def test_truncated_compressed_payload_is_typed():
+    blob = wire.encode_message({}, {"t": _grid_targets(64)})
+    with pytest.raises(WireFormatError, match="truncated"):
+        wire.read_message(io.BytesIO(blob[: len(blob) - 40]).read)
+
+
+def test_decompression_bomb_dies_at_first_excess_byte():
+    """A deflate payload inflating past its declared shape must fail
+    typed — and before filling anything beyond the declared buffer."""
+    import zlib
+
+    bomb = zlib.compress(b"\x00" * 1_000_000, 1)
+    header = json.dumps({"name": "t", "dtype": "<f8", "shape": [2],
+                         "order": "C", "encoding": "deflate"}).encode()
+    meta = wire.encode_message({})[: -wire._HEAD.size]
+    frame = wire._HEAD.pack(wire.MAGIC, wire.WIRE_VERSION, ord("A"), 0,
+                            len(header), len(bomb)) + header + bomb
+    with pytest.raises(WireFormatError, match="inflates past"):
+        wire.read_message(io.BytesIO(meta + frame).read)
+
+
+def test_deflate_declared_size_counts_against_budget():
+    """A tiny compressed payload must not buy a giant allocation: the
+    *decompressed* size is charged against max_bytes up front."""
+    import zlib
+
+    payload = zlib.compress(b"\x00" * 80_000, 1)  # a few hundred bytes
+    header = json.dumps({"name": "t", "dtype": "<f8", "shape": [10_000],
+                         "order": "C", "encoding": "deflate"}).encode()
+    meta = wire.encode_message({})[: -wire._HEAD.size]
+    frame = wire._HEAD.pack(wire.MAGIC, wire.WIRE_VERSION, ord("A"), 0,
+                            len(header), len(payload)) + header + payload
+    with pytest.raises(PayloadTooLargeError):
+        wire.read_message(io.BytesIO(meta + frame).read, max_bytes=8192)
+
+
+def test_unknown_encoding_is_rejected():
+    header = json.dumps({"name": "t", "dtype": "<f8", "shape": [1],
+                         "order": "C", "encoding": "lzma"}).encode()
+    meta = wire.encode_message({})[: -wire._HEAD.size]
+    frame = wire._HEAD.pack(wire.MAGIC, wire.WIRE_VERSION, ord("A"), 0,
+                            len(header), 8) + header + b"\x00" * 8
+    with pytest.raises(WireFormatError, match="encoding"):
+        wire.read_message(io.BytesIO(meta + frame).read)
+
+
+# --------------------------------------------------------------------------
+# Malformed streams -> typed errors
+# --------------------------------------------------------------------------
+
+
+def _frames(blob):
+    """Split an encoded message into its raw frames for tampering."""
+    frames, offset = [], 0
+    while offset < len(blob):
+        head = blob[offset : offset + wire._HEAD.size]
+        _, _, _, _, hlen, plen = wire._HEAD.unpack(head)
+        end = offset + wire._HEAD.size + hlen + plen
+        frames.append(blob[offset:end])
+        offset = end
+    return frames
+
+
+def test_truncated_stream_is_typed():
+    blob = wire.encode_message({"m": 1}, {"t": np.zeros(1000)})
+    for cut in (3, wire._HEAD.size + 2, len(blob) // 2, len(blob) - 1):
+        with pytest.raises(WireFormatError, match="truncated"):
+            wire.read_message(io.BytesIO(blob[:cut]).read)
+
+
+def test_bad_magic_is_typed():
+    blob = b"JUNK" + wire.encode_message({})[4:]
+    with pytest.raises(WireFormatError, match="magic"):
+        wire.read_message(io.BytesIO(blob).read)
+
+
+def test_future_version_is_rejected():
+    blob = bytearray(wire.encode_message({}))
+    blob[4] = wire.WIRE_VERSION + 1
+    with pytest.raises(WireFormatError, match="version"):
+        wire.read_message(io.BytesIO(bytes(blob)).read)
+
+
+def test_array_before_meta_is_rejected():
+    frames = _frames(wire.encode_message({}, {"t": np.zeros(3)}))
+    blob = frames[1] + frames[0] + frames[2]  # ARRAY, META, END
+    with pytest.raises(WireFormatError, match="before the META"):
+        wire.read_message(io.BytesIO(blob).read)
+
+
+def test_duplicate_array_is_rejected():
+    frames = _frames(wire.encode_message({}, {"t": np.zeros(3)}))
+    blob = frames[0] + frames[1] + frames[1] + frames[2]
+    with pytest.raises(WireFormatError, match="duplicate"):
+        wire.read_message(io.BytesIO(blob).read)
+
+
+def test_shape_payload_mismatch_is_rejected():
+    header = json.dumps(
+        {"name": "t", "dtype": "<f8", "shape": [100], "order": "C"}
+    ).encode()
+    meta = wire.encode_message({})[: -wire._HEAD.size]  # META frame only
+    lying = wire._HEAD.pack(wire.MAGIC, wire.WIRE_VERSION, ord("A"), 0,
+                            len(header), 8) + header + b"\x00" * 8
+    with pytest.raises(WireFormatError, match="declares shape"):
+        wire.read_message(io.BytesIO(meta + lying).read)
+
+
+def test_unsupported_dtype_and_order_are_rejected():
+    for patch, match in (({"dtype": "<f4"}, "dtype"), ({"order": "K"}, "order")):
+        fields = {"name": "t", "dtype": "<f8", "shape": [1], "order": "C"}
+        fields.update(patch)
+        header = json.dumps(fields).encode()
+        meta = wire.encode_message({})[: -wire._HEAD.size]
+        frame = wire._HEAD.pack(wire.MAGIC, wire.WIRE_VERSION, ord("A"), 0,
+                                len(header), 8) + header + b"\x00" * 8
+        with pytest.raises(WireFormatError, match=match):
+            wire.read_message(io.BytesIO(meta + frame).read)
+
+
+def test_hostile_declared_length_fails_before_allocation():
+    """A header declaring an absurd payload must trip the budget from its
+    *declared* size — before ``np.empty`` ever sees it."""
+    header = json.dumps(
+        {"name": "t", "dtype": "<f8", "shape": [1 << 50], "order": "C"}
+    ).encode()
+    meta = wire.encode_message({})[: -wire._HEAD.size]
+    frame = wire._HEAD.pack(wire.MAGIC, wire.WIRE_VERSION, ord("A"), 0,
+                            len(header), (1 << 50) * 8) + header
+    with pytest.raises(PayloadTooLargeError):
+        wire.read_message(io.BytesIO(meta + frame).read, max_bytes=1 << 20)
+
+
+def test_max_bytes_budget_caps_honest_streams_too():
+    # Random payload: ships raw, so the budget sees the full 80 kB.
+    blob = wire.encode_message({}, {"t": np.random.default_rng(9).random(10_000)})
+    with pytest.raises(PayloadTooLargeError):
+        wire.read_message(io.BytesIO(blob).read, max_bytes=1024)
+    # A budget that fits decodes fine.
+    wire.read_message(io.BytesIO(blob).read, max_bytes=len(blob) + 1024)
+
+
+def test_unknown_header_keys_are_ignored():
+    """Within a wire version, readers must skip keys they don't know."""
+    header = json.dumps({"name": "t", "dtype": "<f8", "shape": [2],
+                         "order": "C", "future_hint": 42}).encode()
+    meta = wire.encode_message({})[: -wire._HEAD.size]
+    end = wire._HEAD.pack(wire.MAGIC, wire.WIRE_VERSION, ord("E"), 0, 0, 0)
+    payload = struct.pack("<2d", 1.0, 2.0)
+    frame = wire._HEAD.pack(wire.MAGIC, wire.WIRE_VERSION, ord("A"), 0,
+                            len(header), 16) + header + payload
+    _, got = wire.read_message(io.BytesIO(meta + frame + end).read)
+    np.testing.assert_array_equal(got["t"], [1.0, 2.0])
+
+
+# --------------------------------------------------------------------------
+# HTTP head parsing (the pipelining client's response parser)
+# --------------------------------------------------------------------------
+
+
+def test_parse_http_head():
+    raw = (b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+           b"X-Thing: a b\r\n\r\nBODY")
+    fp = io.BufferedReader(io.BytesIO(raw))
+    status, headers = wire.parse_http_head(fp)
+    assert status == 200
+    assert headers["content-type"] == "application/json"
+    assert headers["x-thing"] == "a b"
+    assert fp.read() == b"BODY"
+
+
+def test_parse_http_head_rejects_garbage():
+    with pytest.raises(WireFormatError):
+        wire.parse_http_head(io.BufferedReader(io.BytesIO(b"NOT-HTTP\r\n\r\n")))
+    with pytest.raises(WireFormatError, match="closed"):
+        wire.parse_http_head(io.BufferedReader(io.BytesIO(b"")))
