@@ -138,6 +138,19 @@ __all__ = ["ServingServer", "status_for_exception", "exception_from_wire"]
 
 logger = get_logger(__name__)
 
+
+def _path_within(path: Union[str, Path], root: Union[str, Path]) -> bool:
+    """True when ``path`` is ``root`` or lives under it.
+
+    Separator-aware, unlike a bare ``startswith``: a sibling directory
+    sharing the prefix (``/data/uploads-keep`` vs ``/data/uploads``)
+    must NOT count as inside — misclassifying it as ephemeral would
+    delete a durable bundle's rollback path on :meth:`ServingServer.stop`.
+    """
+    path_s, root_s = str(path), str(root).rstrip(os.sep) or os.sep
+    return path_s == root_s or path_s.startswith(root_s + os.sep)
+
+
 #: Exceptions allowed to cross the worker pipe / HTTP boundary by name.
 _WIRE_EXCEPTIONS: Dict[str, type] = {
     cls.__name__: cls
@@ -473,13 +486,28 @@ class _WorkerHandle:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes HTTP requests to worker pipes. One instance per request."""
+    """Routes HTTP requests to worker pipes.
+
+    With ``protocol_version = "HTTP/1.1"`` the stdlib reuses ONE
+    handler instance for every keep-alive request on a connection
+    (``handle()`` loops ``handle_one_request`` on self), so any
+    per-request state must be reset per request, not per instance.
+    """
 
     protocol_version = "HTTP/1.1"
     server_version = "repro-serving"
 
     # The ThreadingHTTPServer subclass below carries the owning
     # ServingServer as `owner`.
+
+    def handle_one_request(self) -> None:  # noqa: D102 - stdlib API
+        # Per-request state. Stale _streamed from a previous request on
+        # this connection would make _safe_error drop the connection
+        # instead of replying; stale _body_read would defeat the
+        # close-on-unread-body guard and desync keep-alive framing.
+        self._streamed = False
+        self._body_read = False
+        super().handle_one_request()
 
     def log_message(self, fmt: str, *args: object) -> None:  # noqa: D102 - quiet
         pass
@@ -1034,9 +1062,8 @@ class ServingServer:
         """Delete an owned scratch dir, rolling every model whose
         registered path points into it back to its last external bundle
         (or dropping it when there is none)."""
-        doomed = str(root)
         for mid, path in list(self._models.items()):
-            if str(path).startswith(doomed):
+            if _path_within(path, root):
                 external = self._external_paths.get(mid)
                 if external is None:
                     del self._models[mid]
@@ -1288,11 +1315,11 @@ class ServingServer:
         ephemeral = (
             self._jobs_dir_owned
             and self._jobs_dir is not None
-            and path.startswith(str(self._jobs_dir))
+            and _path_within(path, self._jobs_dir)
         ) or (
             self._upload_dir_owned
             and self._upload_dir is not None
-            and path.startswith(str(self._upload_dir))
+            and _path_within(path, self._upload_dir)
         )
         if not ephemeral:
             self._external_paths[model_id] = path

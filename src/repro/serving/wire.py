@@ -443,10 +443,18 @@ def _inflate_into(
         raise WireFormatError(
             f"{what} inflates past its declared {total}-byte size"
         )
-    if filled != total:
+    if filled != total or not decomp.eof:
         raise WireFormatError(
             f"{what} inflated to {filled} of its declared {total} bytes "
             "(corrupt or truncated deflate stream)"
+        )
+    if decomp.unused_data:
+        # The deflate stream ended before payload_len compressed bytes
+        # were consumed; the remainder landed in unused_data. Trailing
+        # bytes mean corruption — never decode them as a valid frame.
+        raise WireFormatError(
+            f"{what} carries {len(decomp.unused_data)} trailing bytes "
+            f"after the end of its deflate stream (corrupt payload)"
         )
 
 
@@ -651,18 +659,36 @@ class ChunkedReader:
         self._remaining = 0
         self._eof = False
 
-    def _next_chunk(self) -> None:
+    def _readline(self, what: str) -> bytes:
+        """One framing line, rejecting truncation and over-long lines.
+
+        ``readline(_MAX_LINE)`` silently truncates an over-long line,
+        which would make its remainder parse as the *next* line —
+        so a line that hits the cap without a terminating newline is a
+        wire error, as is EOF mid-line (connection dropped).
+        """
         line = self._fp.readline(_MAX_LINE)
         if not line:
-            raise WireFormatError("chunked stream truncated at a chunk-size line")
+            raise WireFormatError(f"chunked stream truncated at {what}")
+        if not line.endswith(b"\n"):
+            if len(line) >= _MAX_LINE:
+                raise WireFormatError(
+                    f"{what} exceeds the {_MAX_LINE}-byte line cap"
+                )
+            raise WireFormatError(f"chunked stream truncated at {what}")
+        return line
+
+    def _next_chunk(self) -> None:
+        line = self._readline("a chunk-size line")
         try:
             size = int(line.split(b";", 1)[0].strip() or b"0", 16)
         except ValueError:
             raise WireFormatError(f"malformed chunk-size line {line!r}") from None
         if size == 0:
             while True:  # consume optional trailers up to the blank line
-                trailer = self._fp.readline(_MAX_LINE)
-                if trailer in (b"\r\n", b"\n", b""):
+                # EOF here is truncation, not completion: the terminal
+                # CRLF after the 0-size chunk has not arrived yet.
+                if self._readline("a trailer line") in (b"\r\n", b"\n"):
                     break
             self._eof = True
             return

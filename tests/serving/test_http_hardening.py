@@ -138,6 +138,86 @@ def test_config_knob_validates():
 
 
 # --------------------------------------------------------------------------
+# Keep-alive per-request state: one handler instance serves EVERY
+# request on an HTTP/1.1 connection, so flags a request sets must never
+# leak into the next one.
+# --------------------------------------------------------------------------
+
+
+def test_keepalive_typed_error_after_streamed_binary_reply(server):
+    """Regression: ``_streamed`` left True by a successful streamed
+    binary predict must not make a later request's typed error on the
+    SAME keep-alive connection silently drop the connection instead of
+    replying (which broke ``predict_pipelined``'s per-request error
+    semantics and triggered spurious client-side retries)."""
+    body = json.dumps({"model_id": "m", "targets": [[0.5, 0.5]]}).encode()
+    sock = socket.create_connection((server.host, server.port), timeout=30)
+    try:
+        fp = sock.makefile("rb")
+        head = _post_head(server, len(body)) + [f"Accept: {wire.CONTENT_TYPE}"]
+        sock.sendall("\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + body)
+        status, headers = wire.parse_http_head(fp)
+        assert status == 200
+        assert headers.get("transfer-encoding") == "chunked"
+        reader = wire.ChunkedReader(fp)
+        _, arrays = wire.read_message(reader.read)
+        reader.drain()  # position the stream at the next response
+        assert arrays["prediction"].shape == (1,)
+        # Same connection, now a typed error: the server must REPLY
+        # (404 JSON), not kill the connection over stale stream state.
+        bad = json.dumps({"model_id": "missing", "targets": [[0.5, 0.5]]}).encode()
+        sock.sendall(
+            "\r\n".join(_post_head(server, len(bad))).encode("latin-1")
+            + b"\r\n\r\n" + bad
+        )
+        status, headers = wire.parse_http_head(fp)
+        assert status == 404
+        error = json.loads(fp.read(int(headers["content-length"])))["error"]
+        assert error["type"] == "ModelNotFoundError"
+    finally:
+        sock.close()
+
+
+def test_keepalive_413_still_closes_connection(server):
+    """Regression: ``_body_read`` left True by a completed request must
+    not defeat the close-on-unread-body guard — an early 413 on a
+    reused connection still closes it, so undelivered body bytes can
+    never desync the next request's framing."""
+    body = json.dumps({"model_id": "m", "targets": [[0.5, 0.5]]}).encode()
+    sock = socket.create_connection((server.host, server.port), timeout=30)
+    try:
+        fp = sock.makefile("rb")
+        sock.sendall(
+            "\r\n".join(_post_head(server, len(body))).encode("latin-1")
+            + b"\r\n\r\n" + body
+        )
+        status, headers = wire.parse_http_head(fp)
+        assert status == 200
+        fp.read(int(headers["content-length"]))  # leave framing clean
+        # Second request declares an over-cap body (none is sent): the
+        # 413 arrives before any body read, so the connection must die.
+        sock.sendall(
+            "\r\n".join(_post_head(server, server.max_body + 1)).encode("latin-1")
+            + b"\r\n\r\n"
+        )
+        status, headers = wire.parse_http_head(fp)
+        assert status == 413
+        fp.read(int(headers["content-length"]))
+        # Probe: a third request must meet a closed socket, never a
+        # served response off desynced framing.
+        try:
+            sock.sendall(
+                f"GET /healthz HTTP/1.1\r\nHost: {server.host}\r\n\r\n".encode()
+            )
+            leftover = fp.read(1)
+        except (BrokenPipeError, ConnectionResetError):
+            leftover = b""
+        assert leftover == b""
+    finally:
+        sock.close()
+
+
+# --------------------------------------------------------------------------
 # The cap + the transports, end to end
 # --------------------------------------------------------------------------
 

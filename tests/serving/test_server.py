@@ -273,3 +273,18 @@ def test_stopped_server_rejects_and_stop_is_idempotent(bundle_paths, targets):
         server.stop()  # idempotent
     with pytest.raises(ServiceClosedError):
         server.predict_request({"model_id": "m", "targets": targets.tolist()})
+
+
+def test_ephemeral_path_detection_is_separator_aware(tmp_path):
+    """Regression: a sibling directory sharing an ephemeral dir's string
+    prefix (``uploads-keep`` vs ``uploads``) is NOT inside it — its
+    bundles are durable and must survive as rollback targets."""
+    from repro.serving.server import _path_within
+
+    root = tmp_path / "uploads"
+    assert _path_within(root / "m.bundle", root)
+    assert _path_within(root / "a" / "b.bundle", root)
+    assert _path_within(root, root)
+    assert not _path_within(str(root) + "-keep/m.bundle", root)
+    assert not _path_within(tmp_path / "uploadsX" / "m.bundle", root)
+    assert not _path_within(tmp_path, root)

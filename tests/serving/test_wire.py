@@ -163,6 +163,39 @@ def test_write_chunked_roundtrips_through_chunked_reader():
     assert reader.read(1) == b""  # positioned past the terminal chunk
 
 
+def test_chunked_eof_in_trailer_section_is_truncation():
+    """Regression: a connection dropped between the 0-size chunk line
+    and the final CRLF must report truncation, not a complete body."""
+    fp = io.BufferedReader(io.BytesIO(b"4\r\nDATA\r\n0\r\n"))
+    reader = wire.ChunkedReader(fp)
+    assert reader.read(4) == b"DATA"
+    with pytest.raises(WireFormatError, match="truncated"):
+        reader.read(1)
+
+
+def test_chunked_eof_mid_line_is_truncation():
+    fp = io.BufferedReader(io.BytesIO(b"4\r\nDATA\r\n1f"))  # size line cut off
+    reader = wire.ChunkedReader(fp)
+    assert reader.read(4) == b"DATA"
+    with pytest.raises(WireFormatError, match="truncated"):
+        reader.read(1)
+
+
+def test_chunked_overlong_size_line_is_typed():
+    """Regression: ``readline(_MAX_LINE)`` silently truncates, so an
+    over-long chunk-size line must be rejected — its remainder would
+    otherwise parse as the next framing line."""
+    fp = io.BufferedReader(io.BytesIO(b"1" * (wire._MAX_LINE + 16) + b"\r\n"))
+    with pytest.raises(WireFormatError, match="line cap"):
+        wire.ChunkedReader(fp).read(1)
+
+
+def test_chunked_overlong_trailer_line_is_typed():
+    blob = b"0\r\n" + b"x-trailer: " + b"v" * (wire._MAX_LINE + 16) + b"\r\n\r\n"
+    with pytest.raises(WireFormatError, match="line cap"):
+        wire.ChunkedReader(io.BufferedReader(io.BytesIO(blob))).read(1)
+
+
 def test_bounded_reader_stops_at_its_length():
     fp = io.BytesIO(b"abcdefghij" + b"NEXT-REQUEST")
     reader = wire.BoundedReader(fp, 10)
@@ -251,6 +284,38 @@ def test_deflate_declared_size_counts_against_budget():
                             len(header), len(payload)) + header + payload
     with pytest.raises(PayloadTooLargeError):
         wire.read_message(io.BytesIO(meta + frame).read, max_bytes=8192)
+
+
+def test_trailing_garbage_after_deflate_stream_is_typed():
+    """Regression: bytes left over after the deflate stream ends (they
+    land in ``unused_data``, not ``unconsumed_tail``) are corruption and
+    must fail typed — not decode as a valid frame."""
+    import zlib
+
+    payload = zlib.compress(b"\x00" * 16, 1) + b"JUNK"
+    header = json.dumps({"name": "t", "dtype": "<f8", "shape": [2],
+                         "order": "C", "encoding": "deflate"}).encode()
+    meta = wire.encode_message({})[: -wire._HEAD.size]
+    frame = wire._HEAD.pack(wire.MAGIC, wire.WIRE_VERSION, ord("A"), 0,
+                            len(header), len(payload)) + header + payload
+    with pytest.raises(WireFormatError, match="trailing"):
+        wire.read_message(io.BytesIO(meta + frame).read)
+
+
+def test_unterminated_deflate_stream_is_typed():
+    """A payload that fills its declared size without ever reaching the
+    deflate end-of-stream marker is truncated/corrupt, not complete."""
+    import zlib
+
+    comp = zlib.compressobj(1)
+    payload = comp.compress(b"\x00" * 16) + comp.flush(zlib.Z_SYNC_FLUSH)
+    header = json.dumps({"name": "t", "dtype": "<f8", "shape": [2],
+                         "order": "C", "encoding": "deflate"}).encode()
+    meta = wire.encode_message({})[: -wire._HEAD.size]
+    frame = wire._HEAD.pack(wire.MAGIC, wire.WIRE_VERSION, ord("A"), 0,
+                            len(header), len(payload)) + header + payload
+    with pytest.raises(WireFormatError, match="corrupt or truncated"):
+        wire.read_message(io.BytesIO(meta + frame).read)
 
 
 def test_unknown_encoding_is_rejected():
