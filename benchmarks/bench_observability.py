@@ -1,0 +1,328 @@
+#!/usr/bin/env python
+"""Observability benchmark: what telemetry costs, off and on.
+
+Three probes, mirroring ``bench_resilience.py``'s methodology:
+
+* **disabled hook overhead** — nanoseconds per ``span("...")`` call
+  with telemetry unarmed. The hooks sit on every request, engine, and
+  stage path, so the disabled path must be nanosecond-class: the
+  derived per-request cost bound (hooks/request x ns/hook vs the
+  measured p99) is asserted under 3%.
+* **serving p99, off vs on** — the same closed-loop HTTP soak with
+  telemetry disabled and then fully armed (spans + metrics mirror +
+  trace assembly available). Both runs must stay bit-identical to the
+  in-process reference: telemetry is observability, not physics.
+* **export under load** — after the armed soak, the Prometheus
+  exposition must pass the format lint and a sampled request's trace
+  must assemble into a single connected tree.
+
+Results go to ``BENCH_observability.json``.
+
+Run as a script:
+
+    PYTHONPATH=src python benchmarks/bench_observability.py
+    PYTHONPATH=src python benchmarks/bench_observability.py --requests 200
+
+or through the benchmark suite (small problem):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_observability.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data import generate_irregular_grid, sample_gaussian_field, sort_locations
+from repro.kernels import MaternCovariance
+from repro.mle import PredictionEngine
+from repro.serving import ModelBundle, ServingClient, ServingServer
+from repro.telemetry import context as tctx
+from repro.telemetry import lint_prometheus
+from repro.telemetry.spans import configure, reset_telemetry, span
+
+# Spans + fault points a predict crosses end to end (client, router,
+# worker, service x4, engine x3, stages); used to bound the disabled
+# hooks' per-request cost against the measured p99.
+HOOKS_PER_REQUEST = 24
+
+
+def build_bundle(n: int, tile_size: int, root: Path, theta=(1.0, 0.1, 0.5)) -> Path:
+    locs, _, _ = sort_locations(generate_irregular_grid(n, seed=0))
+    model = MaternCovariance(*theta)
+    z = sample_gaussian_field(locs, model, seed=1)
+    bundle = ModelBundle(
+        model=model, locations=locs, z=z, variant="full-block", tile_size=tile_size
+    )
+    bundle.factor = bundle.build_engine().factor()
+    return bundle.save(root / "bench.bundle")
+
+
+def measure_span_overhead(calls: int = 200_000) -> dict:
+    """Per-call cost of a disabled and an enabled ``span()``."""
+    reset_telemetry()
+
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        pass
+    empty = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        with span("bench.noop"):
+            pass
+    disabled = time.perf_counter() - t0
+
+    configure(enabled=True, max_spans=1024)
+    armed_calls = calls // 10  # recording path: 10x fewer iterations
+    t0 = time.perf_counter()
+    for _ in range(armed_calls):
+        with span("bench.noop"):
+            pass
+    armed = time.perf_counter() - t0
+    reset_telemetry()
+
+    return {
+        "calls": calls,
+        "ns_per_call": max(0.0, (disabled - empty) / calls * 1e9),
+        "ns_per_call_gross": disabled / calls * 1e9,
+        "ns_per_call_enabled": armed / armed_calls * 1e9,
+    }
+
+
+def drive(
+    url: str,
+    targets: np.ndarray,
+    reference: np.ndarray,
+    *,
+    n_requests: int,
+    concurrency: int,
+) -> dict:
+    """Closed loop; tallies latency percentiles, errors, wrong answers."""
+    remaining = [n_requests]
+    lock = threading.Lock()
+    latencies: List[float] = []
+    errors: List[str] = []
+    wrong = [0]
+
+    def worker() -> None:
+        with ServingClient(url) as client:
+            while True:
+                with lock:
+                    if remaining[0] <= 0:
+                        return
+                    remaining[0] -= 1
+                t0 = time.perf_counter()
+                try:
+                    got = client.predict("bench", targets, deadline=30.0)
+                    dt = time.perf_counter() - t0
+                    ok = np.array_equal(got, reference)
+                    with lock:
+                        latencies.append(dt)
+                        if not ok:
+                            wrong[0] += 1
+                except Exception as exc:  # noqa: BLE001 - tallied
+                    with lock:
+                        errors.append(type(exc).__name__)
+
+    threads = [threading.Thread(target=worker) for _ in range(concurrency)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    latencies.sort()
+
+    def pct(q: float) -> float:
+        if not latencies:
+            return float("nan")
+        return latencies[min(len(latencies) - 1, int(len(latencies) * q))] * 1e3
+
+    return {
+        "requests": n_requests,
+        "succeeded": len(latencies),
+        "errors": len(errors),
+        "error_types": sorted(set(errors)),
+        "wrong_answers": wrong[0],
+        "wall_seconds": wall,
+        "p50_ms": pct(0.50),
+        "p95_ms": pct(0.95),
+        "p99_ms": pct(0.99),
+    }
+
+
+def check_export_surfaces(url: str, targets: np.ndarray) -> dict:
+    """One traced request: exposition lints, trace assembles connected."""
+    with ServingClient(url) as client:
+        ctx = tctx.new_trace()
+        with tctx.activate(ctx):
+            client.predict("bench", targets)
+        tree = client.trace(ctx.trace_id)
+        exposition = client.metrics(format="prometheus")
+    lint_prometheus(exposition)
+    return {
+        "trace_span_count": tree["span_count"],
+        "trace_roots": len(tree["tree"]),
+        "prometheus_lines": len(exposition.splitlines()),
+        "prometheus_lint": "ok",
+    }
+
+
+def run_bench(
+    n: int = 900,
+    m: int = 32,
+    tile_size: int = 150,
+    n_requests: int = 300,
+    concurrency: int = 8,
+    num_workers: int = 2,
+) -> dict:
+    overhead = measure_span_overhead()
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        path = build_bundle(n, tile_size, root)
+        targets = np.ascontiguousarray(np.random.default_rng(7).random((m, 2)))
+        reference = PredictionEngine.from_bundle(path).predict(targets)
+
+        def fresh_server():
+            return ServingServer(
+                {"bench": path},
+                num_workers=num_workers,
+                service_options={"batch_window": 0.0},
+                enable_fitting=False,
+            )
+
+        reset_telemetry()
+        with fresh_server() as server:
+            with ServingClient(server.url) as warm:
+                warm.predict("bench", targets)
+            telemetry_off = drive(
+                server.url, targets, reference,
+                n_requests=n_requests, concurrency=concurrency,
+            )
+
+        configure(enabled=True)
+        try:
+            with fresh_server() as server:
+                with ServingClient(server.url) as warm:
+                    warm.predict("bench", targets)
+                telemetry_on = drive(
+                    server.url, targets, reference,
+                    n_requests=n_requests, concurrency=concurrency,
+                )
+                export = check_export_surfaces(server.url, targets)
+        finally:
+            reset_telemetry()
+
+    # The acceptance claim is about the *disabled* hooks: bound their
+    # per-request cost against the measured p99 instead of differencing
+    # two noisy soaks.
+    hook_cost_ms = HOOKS_PER_REQUEST * overhead["ns_per_call_gross"] / 1e6
+    disabled_bound = hook_cost_ms / telemetry_off["p99_ms"] if telemetry_off["p99_ms"] else 0.0
+    enabled_delta = (
+        (telemetry_on["p99_ms"] - telemetry_off["p99_ms"]) / telemetry_off["p99_ms"]
+        if telemetry_off["p99_ms"]
+        else 0.0
+    )
+    return {
+        "config": {
+            "n": n,
+            "m_targets_per_request": m,
+            "tile_size": tile_size,
+            "n_requests": n_requests,
+            "concurrency": concurrency,
+            "num_workers": num_workers,
+            "hooks_per_request": HOOKS_PER_REQUEST,
+        },
+        "span_overhead": overhead,
+        "telemetry_off": telemetry_off,
+        "telemetry_on": telemetry_on,
+        "export": export,
+        "disabled_p99_overhead_bound": disabled_bound,
+        "enabled_p99_delta": enabled_delta,
+    }
+
+
+def write_report(report: dict, out: Optional[str] = None) -> Path:
+    if out is None:
+        from repro.experiments.common import results_dir
+
+        path = results_dir() / "BENCH_observability.json"
+    else:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_observability(outdir):
+    """Benchmark-suite entry: small problem, invariant-flavored asserts."""
+    report = run_bench(n=400, m=24, tile_size=100, n_requests=120, concurrency=6)
+    for leg in ("telemetry_off", "telemetry_on"):
+        assert report[leg]["errors"] == 0, report[leg]
+        assert report[leg]["wrong_answers"] == 0  # observability, not physics
+    # The disabled span hook must stay deep in noise territory (< 5
+    # µs/call even on a loaded CI runner; typical is tens of ns) ...
+    assert report["span_overhead"]["ns_per_call_gross"] < 5_000
+    # ... which bounds the disabled hooks' share of request p99 under
+    # the 3% acceptance budget with orders of magnitude to spare.
+    assert report["disabled_p99_overhead_bound"] < 0.03
+    # Armed telemetry is allowed to cost something, but a runaway
+    # (recorder contention, sink I/O on the hot path) must fail loudly.
+    assert report["telemetry_on"]["p99_ms"] < report["telemetry_off"]["p99_ms"] * 3 + 10.0
+    assert report["export"]["trace_roots"] == 1
+    assert report["export"]["trace_span_count"] >= 6
+    write_report(report)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=900, help="training-set size")
+    parser.add_argument("--m", type=int, default=32, help="targets per request")
+    parser.add_argument("--tile-size", type=int, default=150, help="tile size nb")
+    parser.add_argument("--requests", type=int, default=300, help="total requests")
+    parser.add_argument("--concurrency", type=int, default=8, help="client threads")
+    parser.add_argument("--workers", type=int, default=2, help="worker processes")
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args()
+
+    report = run_bench(
+        n=args.n,
+        m=args.m,
+        tile_size=args.tile_size,
+        n_requests=args.requests,
+        concurrency=args.concurrency,
+        num_workers=args.workers,
+    )
+    path = write_report(report, args.out)
+    print(f"wrote {path}")
+    so = report["span_overhead"]
+    print(
+        f"span(): {so['ns_per_call_gross']:.0f} ns/call disabled, "
+        f"{so['ns_per_call_enabled']:.0f} ns/call enabled"
+    )
+    for name in ("telemetry_off", "telemetry_on"):
+        r = report[name]
+        print(
+            f"  {name:>13}: p50 {r['p50_ms']:6.2f} ms  p99 {r['p99_ms']:6.2f} ms  "
+            f"errors {r['errors']}  wrong answers {r['wrong_answers']}"
+        )
+    print(
+        f"disabled-hook p99 bound: {report['disabled_p99_overhead_bound']:.4%}  "
+        f"enabled p99 delta: {report['enabled_p99_delta']:+.1%}"
+    )
+    print(
+        f"export: {report['export']['trace_span_count']} spans / "
+        f"{report['export']['trace_roots']} root, prometheus lint ok"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,14 @@ This demo runs the full production shape on top of it:
    theta), saved, and swapped in via ``POST /v1/models/<id>/reload``
    while clients keep hammering — zero failed requests; traffic drains
    from old-engine answers to new-engine answers.
+6. **Reading a trace**: telemetry is armed before the server starts
+   (one ``configure(enabled=True)`` — workers inherit it), so every
+   request can answer "where did my time go". The client opens a
+   trace, predicts once, and fetches ``GET /v1/trace/<id>``: one
+   connected tree from ``client.predict`` through the router, the
+   owning worker process, the batching service, and the engine, with
+   per-phase durations. ``GET /v1/metrics?format=prometheus`` renders
+   the fleet-merged counters/histograms as standard exposition text.
 
 Run:  python examples/serving_http_demo.py
 """
@@ -41,6 +49,8 @@ from repro.data import generate_irregular_grid, sample_gaussian_field, sort_loca
 from repro.kernels import MaternCovariance
 from repro.mle import MLEstimator, PredictionEngine
 from repro.serving import ServingClient, ServingServer, wire
+from repro.telemetry import configure_telemetry
+from repro.telemetry import context as trace_context
 
 N_TRAIN = 400
 N_CLIENTS = 8
@@ -68,7 +78,10 @@ def main() -> None:
         bundle_path = est.save_fit(fit, Path(tmp) / f"{MODEL_ID}.bundle")
         print(f"saved bundle to {bundle_path.name}")
 
-        # -- 2. serve: worker processes behind an HTTP router
+        # -- 2. serve: worker processes behind an HTTP router.
+        # Telemetry armed up front: workers spawned by this server
+        # inherit it, so step 6 can assemble cross-process traces.
+        configure_telemetry(enabled=True)
         with ServingServer(
             {MODEL_ID: bundle_path},
             num_workers=2,
@@ -174,6 +187,34 @@ def main() -> None:
                 ServingClient(server.url).predict(MODEL_ID, targets[0]), new_refs[0]
             )
             print("post-reload traffic serves the re-fitted model: yes")
+
+            # -- 6. reading a trace: where did one predict spend its time?
+            with ServingClient(server.url) as client:
+                ctx = trace_context.new_trace()
+                with trace_context.activate(ctx):
+                    client.predict(MODEL_ID, targets[0])
+                tree = client.trace(ctx.trace_id)
+                exposition = client.metrics(format="prometheus")
+
+            print(f"trace {ctx.trace_id}: {tree['span_count']} spans")
+
+            def show(node: dict, depth: int = 0) -> None:
+                print(
+                    f"  {'  ' * depth}{node['name']:<{30 - 2 * depth}} "
+                    f"{node['duration'] * 1e3:8.3f} ms  (pid {node['pid']})"
+                )
+                for child in node["children"]:
+                    show(child, depth + 1)
+
+            for root in tree["tree"]:
+                show(root)
+            service_lines = [
+                line for line in exposition.splitlines()
+                if line.startswith("repro_service_") and "_bucket" not in line
+            ]
+            print("prometheus exposition (service family):")
+            for line in service_lines:
+                print(f"  {line}")
 
 
 if __name__ == "__main__":

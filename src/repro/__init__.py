@@ -24,6 +24,9 @@ Estimation for the Prediction of Large-Scale Geostatistics Simulations*
 * :mod:`repro.resilience` — deterministic fault injection, unified
   retry/deadline policies, and circuit breakers shared by the serving
   and fitting layers;
+* :mod:`repro.telemetry` — end-to-end observability: request tracing
+  (``X-Repro-Trace``), per-phase spans, a unified metrics registry,
+  and Prometheus/JSONL export across serving, fitting, and the runtime;
 * :mod:`repro.perfmodel` — machine/cluster models and the performance
   estimator standing in for the paper's Intel servers and Shaheen-2;
 * :mod:`repro.experiments` — drivers regenerating every table and figure.
@@ -77,6 +80,14 @@ from .resilience import (
     disarm,
     fault_point,
 )
+from .telemetry import (
+    MetricsRegistry,
+    TraceContext,
+    annotate,
+    configure_telemetry,
+    get_registry,
+    span,
+)
 from .serving import (
     ModelBundle,
     ModelRegistry,
@@ -126,6 +137,12 @@ __all__ = [
     "arm",
     "disarm",
     "fault_point",
+    "MetricsRegistry",
+    "TraceContext",
+    "annotate",
+    "configure_telemetry",
+    "get_registry",
+    "span",
     "ModelBundle",
     "ModelRegistry",
     "PredictionService",

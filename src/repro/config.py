@@ -156,6 +156,21 @@ class Config:
         JSON-encode a body over the cap with a message pointing at the
         binary transport (``transport="binary"``), whose framed float64
         payload is several times smaller and streamed.
+    telemetry_enabled:
+        Arm the :mod:`~repro.telemetry` layer in this process: ``with
+        span(...)`` blocks record into the bounded per-process ring,
+        ``ServiceMetrics`` mirrors into the metrics registry, and a
+        :class:`~repro.serving.server.ServingServer` propagates the
+        setting to its worker processes (serving ``/v1/trace/<id>``
+        and ``/v1/metrics?format=prometheus``). Off by default: the
+        disabled hooks cost nanoseconds, like the fault-injection
+        sites. ``REPRO_TELEMETRY=1`` in the environment overrides this
+        knob — that is how spawned workers and fit legs inherit it.
+    telemetry_max_spans:
+        Bound on spans kept per process (the in-memory ring drops the
+        oldest and counts drops; the optional JSONL sink stops writing
+        past the bound). Also bounds the runtime's per-``Runtime``
+        task-event ring when telemetry arms it implicitly.
     """
 
     tile_size: int = 250
@@ -183,6 +198,8 @@ class Config:
     breaker_recovery: float = 2.0
     serving_max_inflight: int = 128
     serving_max_body: int = 64 * 1024 * 1024
+    telemetry_enabled: bool = False
+    telemetry_max_spans: int = 10_000
 
     def __post_init__(self) -> None:
         self.validate()
@@ -269,6 +286,10 @@ class Config:
         if self.serving_max_body < 1024:
             raise ConfigurationError(
                 f"serving_max_body must be >= 1024 bytes, got {self.serving_max_body}"
+            )
+        if self.telemetry_max_spans < 1:
+            raise ConfigurationError(
+                f"telemetry_max_spans must be >= 1, got {self.telemetry_max_spans}"
             )
 
     def resolved_workers(self) -> int:

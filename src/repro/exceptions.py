@@ -90,6 +90,16 @@ class InjectedFaultError(ReproError):
     """
 
 
+class TelemetryError(ReproError):
+    """The :mod:`repro.telemetry` registry was used inconsistently.
+
+    Raised for programming errors only — re-registering a metric name
+    as a different instrument kind, conflicting histogram buckets, or
+    decrementing a counter. Recording into a valid instrument never
+    raises: observability must not take the observed path down.
+    """
+
+
 class ServingError(ReproError):
     """Base class for errors raised by the :mod:`repro.serving` subsystem."""
 
@@ -111,6 +121,15 @@ class BundleCorruptError(BundleError):
 
 class ModelNotFoundError(ServingError):
     """A model id is not known to the :class:`~repro.serving.ModelRegistry`."""
+
+
+class TraceNotFoundError(ServingError):
+    """``/v1/trace/<id>`` found no spans for that trace id.
+
+    Either the id is wrong, telemetry is disabled, or the spans have
+    aged out of the bounded per-process rings (``telemetry_max_spans``).
+    Maps to HTTP 404.
+    """
 
 
 class ServiceOverloadedError(ServingError):

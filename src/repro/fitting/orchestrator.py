@@ -54,6 +54,7 @@ from ..optim.neldermead import nelder_mead
 from ..optim.result import OptimizeResult
 from ..resilience.faults import fault_point
 from ..resilience.policy import RetryPolicy
+from ..telemetry import spans as _telemetry
 from ..utils.logging import get_logger
 from ..utils.timer import Stopwatch
 from .checkpoint import Checkpointer
@@ -105,54 +106,59 @@ def _run_start(root: str, job_id: str, start_idx: int, checkpoint_every: int) ->
         # → respawn-from-checkpoint path; the plan's cross-process hit
         # counters mean the respawned leg sees the next hit and proceeds.
         fault_point("fit.leg", path=f"{job_id}/{start_idx}")
-        spec = store.spec(job_id)
-        resolved = spec.resolve()
-        estimator = resolved.estimator
-        ckpt = Checkpointer(
-            store.checkpoint_path(job_id, start_idx), every=checkpoint_every
-        )
-        try:
-            state = ckpt.load()
-        except CheckpointError:
-            state = None  # torn/corrupt checkpoint: restart this leg fresh
-        trace_path = store.trace_path(job_id, start_idx)
-        with trace_path.open("w") as trace:
-            if state is not None:
-                for entry in state.history:
-                    trace.write(_json_trace_line(*entry) + "\n")
-                trace.flush()
+        # The leg runs in its own process: its spans (this one, plus
+        # every nested loglik.eval / stage:* span) land in the process's
+        # JSONL sink when REPRO_TELEMETRY_SINK is exported — the raw
+        # material for perfmodel/calibrate.py.
+        with _telemetry.span("fit.leg", job=job_id, start=start_idx):
+            spec = store.spec(job_id)
+            resolved = spec.resolve()
+            estimator = resolved.estimator
+            ckpt = Checkpointer(
+                store.checkpoint_path(job_id, start_idx), every=checkpoint_every
+            )
+            try:
+                state = ckpt.load()
+            except CheckpointError:
+                state = None  # torn/corrupt checkpoint: restart this leg fresh
+            trace_path = store.trace_path(job_id, start_idx)
+            with trace_path.open("w") as trace:
+                if state is not None:
+                    for entry in state.history:
+                        trace.write(_json_trace_line(*entry) + "\n")
+                    trace.flush()
 
-            def on_iteration(it: int, theta: np.ndarray, fun: float) -> None:
-                trace.write(_json_trace_line(it, theta, fun) + "\n")
-                trace.flush()
+                def on_iteration(it: int, theta: np.ndarray, fun: float) -> None:
+                    trace.write(_json_trace_line(it, theta, fun) + "\n")
+                    trace.flush()
 
-            sw = Stopwatch()
-            with sw:
-                result = nelder_mead(
-                    estimator.evaluator.negative,
-                    None if state is not None else resolved.starts[start_idx],
-                    resolved.lower,
-                    resolved.upper,
-                    ftol=spec.ftol,
-                    xtol=spec.xtol,
-                    maxiter=spec.maxiter,
-                    callback=on_iteration,
-                    state=state,
-                    state_callback=ckpt,
-                )
-        store.write_start_result(
-            job_id,
-            start_idx,
-            {
-                "x": [float(v) for v in result.x],
-                "fun": float(result.fun),
-                "nfev": int(result.nfev),
-                "nit": int(result.nit),
-                "converged": bool(result.converged),
-                "message": result.message,
-                "elapsed": float(sw.elapsed),
-            },
-        )
+                sw = Stopwatch()
+                with sw:
+                    result = nelder_mead(
+                        estimator.evaluator.negative,
+                        None if state is not None else resolved.starts[start_idx],
+                        resolved.lower,
+                        resolved.upper,
+                        ftol=spec.ftol,
+                        xtol=spec.xtol,
+                        maxiter=spec.maxiter,
+                        callback=on_iteration,
+                        state=state,
+                        state_callback=ckpt,
+                    )
+            store.write_start_result(
+                job_id,
+                start_idx,
+                {
+                    "x": [float(v) for v in result.x],
+                    "fun": float(result.fun),
+                    "nfev": int(result.nfev),
+                    "nit": int(result.nit),
+                    "converged": bool(result.converged),
+                    "message": result.message,
+                    "elapsed": float(sw.elapsed),
+                },
+            )
     except Exception as exc:  # deterministic failure: report, don't retry
         store.write_start_error(job_id, start_idx, exc)
 

@@ -55,6 +55,7 @@ from ..linalg.tile_solve import tile_solve_triangular
 from ..linalg.tlr_cholesky import logdet_from_tlr_factor
 from ..linalg.tlr_solve import tlr_solve_triangular
 from ..runtime import Runtime
+from ..telemetry import spans as _telemetry
 from ..utils.timer import StageTimes
 from ..utils.validation import as_float_array, check_locations, check_vector
 import scipy.linalg as sla
@@ -215,12 +216,15 @@ class LikelihoodEvaluator:
         model = self.model.with_theta(theta)
         self.n_evals += 1
         try:
-            if self.variant == "full-block":
-                logdet, quad = self._eval_full_block(model)
-            elif self.variant == "full-tile":
-                logdet, quad = self._eval_full_tile(model)
-            else:
-                logdet, quad = self._eval_tlr(model)
+            # The stage() calls inside each variant emit per-phase child
+            # spans (generation/factorization/solve) under this one.
+            with _telemetry.span("loglik.eval", variant=self.variant):
+                if self.variant == "full-block":
+                    logdet, quad = self._eval_full_block(model)
+                elif self.variant == "full-tile":
+                    logdet, quad = self._eval_full_tile(model)
+                else:
+                    logdet, quad = self._eval_tlr(model)
         except NotPositiveDefiniteError:
             self.n_failures += 1
             self._pending_factor = None

@@ -64,6 +64,7 @@ from ..linalg.tile_solve import tile_solve_triangular
 from ..linalg.tlr_matrix import TLRMatrix
 from ..linalg.tlr_solve import tlr_solve_triangular
 from ..runtime import Runtime
+from ..telemetry import spans as _telemetry
 from ..utils.timer import StageTimes
 from ..utils.validation import as_float_array, check_locations
 from .loglik import VARIANTS
@@ -307,7 +308,15 @@ class PredictionEngine:
         key = self._model_key(self.model)
         if self._factor is not None and self._factor_key == key:
             return self._factor
-        self._factor = _validate_factor(self._compute_factor(self.model))
+        with _telemetry.span("engine.factor", variant=self.variant):
+            # Runtime task events recorded during this factorization are
+            # adopted as child spans, joining the task-level view (what
+            # StarPU's FxT traces show) to the request-level one.
+            rt_trace = self.runtime.trace if self.runtime is not None else None
+            events_before = rt_trace.total_recorded if rt_trace is not None else 0
+            self._factor = _validate_factor(self._compute_factor(self.model))
+            if rt_trace is not None:
+                _telemetry.adopt_trace_events(rt_trace.tail(events_before))
         self._factor_key = key
         self._alpha = None
         self.n_factorizations += 1
@@ -413,10 +422,12 @@ class PredictionEngine:
         -------
         ``(m,)`` predictions, or ``(m, k)`` for a batched ``z``.
         """
-        sigma12 = self.cross_covariance(new_locations)
-        alpha = self._weights() if z is None else self.solve(z)
-        self.n_predicts += 1
-        return sigma12 @ alpha
+        with _telemetry.span("engine.predict", variant=self.variant):
+            sigma12 = self.cross_covariance(new_locations)
+            alpha = self._weights() if z is None else self.solve(z)
+            self.n_predicts += 1
+            with _telemetry.span("engine.gemv"):
+                return sigma12 @ alpha
 
     def predict_many(
         self,
@@ -454,9 +465,17 @@ class PredictionEngine:
                 raise ShapeError(
                     f"target_sets[{k}] has dimension {t.shape[1]}, expected {dim}"
                 )
-        alpha = self._weights() if z is None else self.solve(z)
-        self.n_predicts += 1
-        return [self.cross_covariance(t) @ alpha for t in checked]
+        with _telemetry.span(
+            "engine.predict", variant=self.variant, target_sets=len(checked)
+        ):
+            alpha = self._weights() if z is None else self.solve(z)
+            self.n_predicts += 1
+            out = []
+            for t in checked:
+                sigma12 = self.cross_covariance(t)
+                with _telemetry.span("engine.gemv"):
+                    out.append(sigma12 @ alpha)
+            return out
 
     def conditional_variance(self, new_locations: np.ndarray) -> np.ndarray:
         """Pointwise kriging variance (eq. (3)) on any substrate.

@@ -16,7 +16,10 @@ subpackage reproduces the *performance structure* instead:
   MLE iteration or prediction at paper scale, with OOM detection;
 * :mod:`distsim` — a discrete-event simulator of task execution over a
   2-D block-cyclic tile distribution, cross-validating the closed form
-  on small tile counts.
+  on small tile counts;
+* :mod:`calibrate` — replay a recorded telemetry span sink
+  (:mod:`repro.telemetry`) into measured per-phase costs, comparable
+  against the analytic predictions.
 """
 
 from .machine import MachineSpec, MACHINES, get_machine
@@ -33,6 +36,7 @@ from .flops import (
 from .rankmodel import RankModel, calibrate_rank_model
 from .costmodel import TaskCost, task_time
 from .analytic import PerfEstimate, estimate_mle_iteration, estimate_prediction
+from .calibrate import compare_to_estimate, load_spans, phase_costs
 from .distsim import DistributedSimulator, SimReport
 
 __all__ = [
@@ -57,4 +61,7 @@ __all__ = [
     "estimate_prediction",
     "DistributedSimulator",
     "SimReport",
+    "load_spans",
+    "phase_costs",
+    "compare_to_estimate",
 ]

@@ -1,0 +1,149 @@
+"""Calibrate per-phase costs from a recorded telemetry span sink.
+
+The analytic models in this subpackage predict phase times from
+hardware descriptions; this module closes the loop from the *measured*
+side. Arm telemetry with a JSONL sink::
+
+    from repro.telemetry import configure
+    configure(enabled=True, sink_dir="spans/", propagate=True)
+
+run a fit or a serving soak, and every process (router, workers, fit
+legs) writes its spans to ``spans/spans-<pid>.jsonl``.
+:func:`load_spans` reads the directory back and :func:`phase_costs`
+reduces it to per-phase statistics — measured counterparts to
+:func:`~repro.perfmodel.analytic.estimate_mle_iteration`'s predicted
+``generation`` / ``factorization`` / ``solve`` breakdown, directly
+comparable via :func:`compare_to_estimate`.
+
+Also runnable as a CLI::
+
+    python -m repro.perfmodel.calibrate spans/
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..exceptions import TelemetryError
+
+__all__ = ["load_spans", "phase_costs", "compare_to_estimate", "format_report"]
+
+
+def load_spans(sink_dir: Union[str, Path]) -> List[dict]:
+    """Read every span from a telemetry sink directory.
+
+    Reads all ``spans-*.jsonl`` files (one per process). Malformed
+    lines — a process killed mid-write leaves at most one torn tail
+    line per file — are skipped, not fatal: a chaos run's sink must
+    still calibrate.
+    """
+    root = Path(sink_dir)
+    if not root.is_dir():
+        raise TelemetryError(f"span sink directory {str(root)!r} does not exist")
+    spans: List[dict] = []
+    for path in sorted(root.glob("spans-*.jsonl")):
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail line from a killed process
+                if isinstance(rec, dict) and "name" in rec and "duration" in rec:
+                    spans.append(rec)
+    return spans
+
+
+def phase_costs(spans: Iterable[dict]) -> Dict[str, dict]:
+    """Reduce spans to per-phase cost statistics, keyed by span name.
+
+    Each entry carries ``count``, ``total_s``, ``mean_s``, ``p50_s``,
+    ``max_s``. The interesting keys are the ``stage:*`` phases
+    (generation / factorization / solve / cross — the paper's
+    per-iteration breakdown), ``loglik.eval`` (one optimizer objective
+    call), and the serving phases (``service.queue_wait``,
+    ``wire.encode`` / ``wire.decode``, ``engine.predict``).
+    """
+    by_name: Dict[str, List[float]] = {}
+    for rec in spans:
+        by_name.setdefault(str(rec["name"]), []).append(float(rec["duration"]))
+    out: Dict[str, dict] = {}
+    for name, durations in sorted(by_name.items()):
+        durations.sort()
+        n = len(durations)
+        out[name] = {
+            "count": n,
+            "total_s": sum(durations),
+            "mean_s": sum(durations) / n,
+            "p50_s": durations[n // 2],
+            "max_s": durations[-1],
+        }
+    return out
+
+
+def compare_to_estimate(
+    costs: Dict[str, dict], estimate: "object"
+) -> Dict[str, dict]:
+    """Join measured ``stage:*`` costs against a
+    :class:`~repro.perfmodel.analytic.PerfEstimate`'s predicted phase
+    times. Returns ``{phase: {"measured_s", "predicted_s", "ratio"}}``
+    for the phases present on both sides — the calibration residual the
+    rank/efficiency models can be tuned against.
+    """
+    predicted = getattr(estimate, "breakdown", None)
+    if not isinstance(predicted, dict):
+        raise TelemetryError(
+            "compare_to_estimate needs a PerfEstimate with a stage breakdown"
+        )
+    joined: Dict[str, dict] = {}
+    for phase, pred_s in predicted.items():
+        measured = costs.get(f"stage:{phase}")
+        if measured is None or pred_s <= 0:
+            continue
+        joined[phase] = {
+            "measured_s": measured["mean_s"],
+            "predicted_s": float(pred_s),
+            "ratio": measured["mean_s"] / float(pred_s),
+        }
+    return joined
+
+
+def format_report(costs: Dict[str, dict]) -> str:
+    """Fixed-width text table of :func:`phase_costs` output."""
+    lines = [
+        f"{'phase':<28} {'count':>7} {'total_s':>10} {'mean_s':>10} "
+        f"{'p50_s':>10} {'max_s':>10}"
+    ]
+    for name, stat in costs.items():
+        lines.append(
+            f"{name:<28} {stat['count']:>7d} {stat['total_s']:>10.4f} "
+            f"{stat['mean_s']:>10.6f} {stat['p50_s']:>10.6f} {stat['max_s']:>10.6f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Aggregate a telemetry span sink into per-phase costs."
+    )
+    parser.add_argument("sink_dir", help="directory holding spans-*.jsonl files")
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a text table"
+    )
+    args = parser.parse_args(argv)
+    costs = phase_costs(load_spans(args.sink_dir))
+    if args.json:
+        print(json.dumps(costs, indent=2))
+    else:
+        print(format_report(costs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ from typing import Callable, Dict, Optional
 
 from ..config import get_config
 from ..exceptions import ConfigurationError, LoadShedError
+from ..telemetry import spans as _telemetry
 
 __all__ = ["CircuitBreaker", "AdmissionGate"]
 
@@ -147,6 +148,10 @@ class CircuitBreaker:
             if self._state == HALF_OPEN:
                 self._state = CLOSED
                 self._probes = 0
+                # State transitions land on the request trace that
+                # caused them — the "why was this degraded/fast-failed"
+                # breadcrumb. No-op when telemetry is off.
+                _telemetry.annotate("breaker", "half-open -> closed")
             self._failures = 0
 
     def record_failure(self) -> None:
@@ -163,11 +168,13 @@ class CircuitBreaker:
                     self._open_locked()
 
     def _open_locked(self) -> None:
+        previous = self._state
         self._state = OPEN
         self._opened_at = self._clock()
         self._failures = 0
         self._probes = 0
         self.n_opens += 1
+        _telemetry.annotate("breaker", f"{previous} -> open")
 
     def _tick_locked(self) -> None:
         if (
@@ -176,6 +183,7 @@ class CircuitBreaker:
         ):
             self._state = HALF_OPEN
             self._probes = 0
+            _telemetry.annotate("breaker", "open -> half-open")
 
     def snapshot(self) -> dict:
         """Plain-dict state for metrics endpoints."""

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Union
 
 from .. import exceptions as _exceptions
 from ..exceptions import ConfigurationError, InjectedFaultError
+from ..telemetry import spans as _telemetry
 
 __all__ = [
     "FaultRule",
@@ -307,6 +308,10 @@ class FaultPlan:
 
     def _fire(self, rule: FaultRule, site: str, hit: int, path: Optional[str]) -> None:
         self._journal(site, hit, rule.action)
+        # A firing is the single most useful thing to see on a request
+        # trace during a chaos run: the span carries which site fired,
+        # which action, and on which hit. No-op when telemetry is off.
+        _telemetry.annotate("fault", f"{site}#{hit}:{rule.action}")
         if rule.action == "delay":
             time.sleep(rule.delay)
             return

@@ -27,6 +27,7 @@ from typing import Any, Callable, Optional, Sequence, Tuple
 from ..config import get_config
 from ..exceptions import RuntimeEngineError
 from ..resilience.faults import fault_point
+from ..telemetry import spans as _telemetry
 from ..utils.logging import get_logger
 from .graph import DependencyTracker
 from .handle import DataHandle
@@ -53,7 +54,12 @@ class Runtime:
         ``"threads"`` (asynchronous) or ``"serial"`` (synchronous,
         deterministic). ``None`` uses the configured default.
     trace:
-        Record :class:`TraceEvent` rows for every executed task.
+        Record :class:`TraceEvent` rows for every executed task
+        (unbounded — the ablation/test mode). When telemetry is armed
+        (:func:`repro.telemetry.configure`) and ``trace`` is False, a
+        *bounded* ring recorder (``telemetry_max_spans`` events) is
+        created instead, so engine spans can adopt task events as
+        children without unbounded growth in long-lived runtimes.
 
     Examples
     --------
@@ -85,7 +91,12 @@ class Runtime:
             1 if self.engine == "serial" else (num_workers or cfg.resolved_workers())
         )
         self.tracker = DependencyTracker()
-        self.trace: Optional[TraceRecorder] = TraceRecorder() if trace else None
+        if trace:
+            self.trace: Optional[TraceRecorder] = TraceRecorder()
+        elif _telemetry.enabled():
+            self.trace = TraceRecorder(max_events=cfg.telemetry_max_spans)
+        else:
+            self.trace = None
         self._queue = make_queue(scheduler)
         self._lock = threading.Lock()
         self._work_available = threading.Condition(self._lock)

@@ -8,8 +8,9 @@ the information StarPU exposes through its FxT traces.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 __all__ = ["TraceEvent", "TraceRecorder"]
 
@@ -31,16 +32,32 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Thread-safe accumulator of :class:`TraceEvent` records."""
+    """Thread-safe accumulator of :class:`TraceEvent` records.
 
-    def __init__(self) -> None:
-        self._events: List[TraceEvent] = []
+    ``max_events=None`` (the default) keeps every event — the right
+    choice for tests and ablations that reconstruct a whole task
+    graph. Long-lived runtimes (a serving worker's shard ``Runtime``
+    lives for the process lifetime) pass a bound: the recorder becomes
+    a ring that drops the *oldest* events and counts the drops in
+    :attr:`dropped`, so memory stays O(bound) forever.
+    """
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        self.max_events = None if max_events is None else max(1, int(max_events))
+        self._events: Union[List[TraceEvent], Deque[TraceEvent]] = (
+            [] if self.max_events is None else deque(maxlen=self.max_events)
+        )
+        self._dropped = 0
+        self._total = 0
         self._lock = threading.Lock()
 
     def record(self, event: TraceEvent) -> None:
         """Append one event (called from worker threads)."""
         with self._lock:
+            if self.max_events is not None and len(self._events) == self.max_events:
+                self._dropped += 1
             self._events.append(event)
+            self._total += 1
 
     @property
     def events(self) -> List[TraceEvent]:
@@ -48,10 +65,39 @@ class TraceRecorder:
         with self._lock:
             return sorted(self._events, key=lambda e: e.t_start)
 
+    @property
+    def dropped(self) -> int:
+        """Events discarded by the ring bound (0 when unbounded)."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def total_recorded(self) -> int:
+        """Lifetime event count, including any the ring dropped."""
+        return self._total
+
+    def tail(self, since: int) -> List[TraceEvent]:
+        """Events recorded after the first *since*, in arrival order.
+
+        The cheap way to ask "what ran during this factorization":
+        callers note :attr:`total_recorded` before and read the tail
+        after. Best-effort under a full ring (the oldest of the new
+        events may already have shifted out).
+        """
+        with self._lock:
+            take = min(len(self._events), max(0, self._total - since))
+            if take == 0:
+                return []
+            return list(self._events)[-take:]
+
     def clear(self) -> None:
         """Drop all recorded events."""
         with self._lock:
             self._events.clear()
+            self._dropped = 0
+            self._total = 0
 
     # ------------------------------------------------------------ analysis
     def makespan(self) -> float:

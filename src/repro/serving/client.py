@@ -60,6 +60,8 @@ from ..exceptions import (
     WireFormatError,
 )
 from ..resilience.policy import RetryPolicy
+from ..telemetry import context as _trace_context
+from ..telemetry import spans as _telemetry
 from ..utils.validation import as_float_array, check_locations
 from . import wire
 from .server import exception_from_wire
@@ -449,9 +451,36 @@ class ServingClient:
             raise ConfigurationError(
                 f"transport must be 'json' or 'binary', got {transport!r}"
             )
-        headers = None
+        headers = {}
         if deadline is not None:
-            headers = {"X-Repro-Deadline": f"{float(deadline):.6f}"}
+            headers["X-Repro-Deadline"] = f"{float(deadline):.6f}"
+        if not _telemetry.enabled():
+            return self._predict_transport(
+                model_id, targets, z, priority, detail, transport, headers or None
+            )
+        # The trace is born here, at the caller: ``client.predict`` is
+        # the root span, its ids travel in X-Repro-Trace, and
+        # ``/v1/trace/<trace_id>`` joins the server-side spans back
+        # under it. The whole request — retries included — is timed.
+        with _telemetry.span(
+            "client.predict", model=str(model_id), transport=transport
+        ) as root:
+            headers[_trace_context.TRACE_HEADER] = _trace_context.to_header(root.ctx)
+            return self._predict_transport(
+                model_id, targets, z, priority, detail, transport, headers
+            )
+
+    def _predict_transport(
+        self,
+        model_id: str,
+        targets: np.ndarray,
+        z: Optional[np.ndarray],
+        priority: int,
+        detail: bool,
+        transport: str,
+        headers: Optional[Dict[str, str]],
+    ):
+        """One predict over the chosen transport (validated arguments)."""
         if transport == "binary":
             meta: dict = {"model_id": str(model_id)}
             if priority:
@@ -528,6 +557,15 @@ class ServingClient:
         deadline_line = (
             f"X-Repro-Deadline: {float(deadline):.6f}\r\n" if deadline is not None else ""
         )
+        trace_line = ""
+        if _telemetry.enabled():
+            # One trace for the whole batch: every pipelined request
+            # carries the same ids, so /v1/trace/<id> shows all N
+            # router.predict spans side by side under one root.
+            ctx = _trace_context.current() or _trace_context.new_trace()
+            trace_line = (
+                f"{_trace_context.TRACE_HEADER}: {_trace_context.to_header(ctx)}\r\n"
+            )
         try:
             sock = socket.create_connection(
                 (self.host, self.port), timeout=self.timeout
@@ -553,6 +591,7 @@ class ServingClient:
                         f"Content-Type: {wire.CONTENT_TYPE}\r\n"
                         f"Accept: {wire.CONTENT_TYPE}\r\n"
                         f"{deadline_line}"
+                        f"{trace_line}"
                         f"Content-Length: {plan.length}\r\n"
                         f"\r\n"
                     ).encode("latin-1")
@@ -571,6 +610,7 @@ class ServingClient:
                         f"Host: {host_header}\r\n"
                         f"Content-Type: application/json\r\n"
                         f"{deadline_line}"
+                        f"{trace_line}"
                         f"Content-Length: {len(data)}\r\n"
                         f"\r\n"
                     ).encode("latin-1")
@@ -778,9 +818,37 @@ class ServingClient:
         """Model ids known to each worker."""
         return self._request("GET", "/v1/models")["models"]
 
-    def metrics(self) -> dict:
-        """Per-worker metrics and fleet aggregates."""
+    def metrics(self, *, format: str = "json"):
+        """Per-worker metrics and fleet aggregates.
+
+        ``format="prometheus"`` returns the fleet's merged telemetry
+        registry as Prometheus text exposition (a ``str``) instead of
+        the JSON dict.
+        """
+        if format == "prometheus":
+            return self._request_text("GET", "/v1/metrics?format=prometheus")
         return self._request("GET", "/v1/metrics")
+
+    def trace(self, trace_id: str) -> dict:
+        """The assembled span tree of one request trace.
+
+        ``trace_id`` is the id :meth:`predict` sent in its
+        ``X-Repro-Trace`` header — with telemetry armed, obtain it from
+        :func:`repro.telemetry.span` around the call (the span's
+        ``ctx.trace_id``) or a :func:`repro.telemetry.new_trace` you
+        activated yourself. Raises
+        :class:`~repro.exceptions.TraceNotFoundError` for unknown ids.
+        """
+        return self._request("GET", f"/v1/trace/{self._quote(trace_id)}")
+
+    def _request_text(self, method: str, path: str) -> str:
+        """A request whose success body is plain text, not JSON."""
+        with self._lock:
+            response = self._send_once(path, None, {}, method=method)
+            raw = response.read()
+        if response.status >= 400:
+            self._finish_json(response.status, raw, response.getheader("Retry-After"))
+        return raw.decode("utf-8")
 
     def health(self) -> dict:
         """Router + worker liveness."""

@@ -13,6 +13,15 @@ The arrival-timestamp window is what the adaptive batching policy
 learns from: :meth:`arrival_rate` estimates a model's recent request
 rate, and :class:`~repro.serving.service.PredictionService` sizes that
 model's coalescing window to roughly the time a batch takes to fill.
+
+Since the telemetry layer landed, :class:`ServiceMetrics` is also a
+*compatibility façade* over the process-wide
+:class:`~repro.telemetry.metrics.MetricsRegistry`: when telemetry is
+armed, every counter increment mirrors into a
+``service_<name>`` registry counter and every latency observation into
+the ``service_latency_seconds`` histogram, so the router's Prometheus
+exposition sees serving traffic without any caller changing its
+``metrics.inc(...)`` calls. Snapshot/percentile behavior is unchanged.
 """
 
 from __future__ import annotations
@@ -21,6 +30,9 @@ import threading
 import time
 from collections import deque
 from typing import Deque, Dict, Optional
+
+from ..telemetry import metrics as _registry
+from ..telemetry import spans as _telemetry
 
 __all__ = ["ServiceMetrics"]
 
@@ -82,17 +94,36 @@ class ServiceMetrics:
         self._arrivals: Dict[str, Deque[float]] = {}
         self._max_arrivals = int(max_arrivals)
         self._arrival_horizon = float(arrival_horizon)
+        # Telemetry mirror: per-name registry counters are cached so the
+        # armed write path is one dict lookup + one add, and the whole
+        # mirror is skipped (one global read) when telemetry is off.
+        self._mirror: Dict[str, _registry.Counter] = {}
+        self._mirror_hist: Optional[_registry.Histogram] = None
 
     # -------------------------------------------------------------- writers
     def inc(self, name: str, by: int = 1) -> None:
         """Increment counter ``name`` by ``by`` (created at 0 on first use)."""
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + int(by)
+        if _telemetry.enabled():
+            counter = self._mirror.get(name)
+            if counter is None:
+                counter = _registry.get_registry().counter(f"service_{name}")
+                self._mirror[name] = counter
+            counter.inc(int(by))
 
     def observe_latency(self, seconds: float) -> None:
         """Record one request's submit-to-answer latency."""
         with self._lock:
             self._latencies.append(float(seconds))
+        if _telemetry.enabled():
+            hist = self._mirror_hist
+            if hist is None:
+                hist = self._mirror_hist = _registry.get_registry().histogram(
+                    "service_latency_seconds",
+                    help="submit-to-answer request latency",
+                )
+            hist.observe(float(seconds))
 
     def record_arrival(self, model_id: str, t: Optional[float] = None) -> None:
         """Record one request arrival for ``model_id`` (monotonic seconds)."""

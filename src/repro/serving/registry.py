@@ -33,6 +33,7 @@ from ..exceptions import BundleCorruptError, ConfigurationError, ModelNotFoundEr
 from ..mle.prediction_engine import PredictionEngine
 from ..resilience.faults import fault_point
 from ..runtime import Runtime
+from ..telemetry import spans as _telemetry
 from .store import ModelBundle, load_model
 
 __all__ = ["ModelRegistry"]
@@ -223,20 +224,23 @@ class ModelRegistry:
                 path = self._paths.get(model_id)
                 runtime = self._shard_runtime(model_id)
             try:
-                if bundle is None:
-                    if path is None:
-                        raise ModelNotFoundError(
-                            f"model {model_id!r} is not registered (or was evicted "
-                            f"with no bundle to rehydrate from)"
-                        )
-                    fault_point("registry.rehydrate")
-                    bundle = load_model(path)
-                engine = bundle.build_engine(
-                    runtime=runtime,
-                    cache_distances=self.cache_distances,
-                    parallel_generation=self.parallel_generation,
-                    compression_batch=self.compression_batch,
-                )
+                # A cold load is the largest single latency cliff a
+                # predict can hit — worth its own span on the trace.
+                with _telemetry.span("registry.load", model=model_id):
+                    if bundle is None:
+                        if path is None:
+                            raise ModelNotFoundError(
+                                f"model {model_id!r} is not registered (or was evicted "
+                                f"with no bundle to rehydrate from)"
+                            )
+                        fault_point("registry.rehydrate")
+                        bundle = load_model(path)
+                    engine = bundle.build_engine(
+                        runtime=runtime,
+                        cache_distances=self.cache_distances,
+                        parallel_generation=self.parallel_generation,
+                        compression_batch=self.compression_batch,
+                    )
             except BundleCorruptError:
                 # The persisted bundle is gone (quarantined), but a
                 # previous engine generation may still be in memory —

@@ -55,6 +55,12 @@ Endpoints
     Model ids known to each worker.
 ``GET /v1/metrics``
     Per-worker service metrics + registry stats, plus fleet aggregates.
+    ``?format=prometheus`` renders the merged telemetry registries of
+    router + workers in Prometheus text exposition 0.0.4 instead.
+``GET /v1/trace/<trace_id>``
+    The assembled span tree of one request trace, joined across the
+    router and every worker process (telemetry must be armed — see
+    :mod:`repro.telemetry`).
 ``POST /v1/models/<id>``
     Register a bundle path on the owning worker: ``{"path"}`` — or,
     with a binary Content-Type, register-by-upload: the body is the
@@ -120,6 +126,8 @@ from ..exceptions import (
     ServiceOverloadedError,
     ServingError,
     ShapeError,
+    TelemetryError,
+    TraceNotFoundError,
     ValidationError,
     WireFormatError,
 )
@@ -128,6 +136,10 @@ from ..fitting.orchestrator import FitOrchestrator
 from ..resilience.breaker import AdmissionGate, CircuitBreaker
 from ..resilience.faults import fault_point
 from ..resilience.policy import Deadline, RetryPolicy
+from ..telemetry import context as _trace_context
+from ..telemetry import metrics as _registry_mod
+from ..telemetry import spans as _telemetry
+from ..telemetry.export import assemble_trace, render_prometheus
 from ..utils.logging import get_logger
 from . import wire
 from .registry import ModelRegistry, _stable_shard
@@ -173,6 +185,8 @@ _WIRE_EXCEPTIONS: Dict[str, type] = {
         ServiceOverloadedError,
         ServingError,
         ShapeError,
+        TelemetryError,
+        TraceNotFoundError,
         ValidationError,
         WireFormatError,
         ValueError,
@@ -187,6 +201,8 @@ _WIRE_EXCEPTIONS: Dict[str, type] = {
 _STATUS_BY_EXCEPTION: Tuple[Tuple[type, int], ...] = (
     (ModelNotFoundError, 404),
     (JobNotFoundError, 404),
+    (TraceNotFoundError, 404),
+    (TelemetryError, 400),
     (ServiceOverloadedError, 429),
     (DeadlineExceededError, 504),
     (CircuitOpenError, 503),
@@ -240,6 +256,18 @@ def _worker_main(conn, config: dict) -> None:
     """Entry point of one worker process: registry + service + pipe loop."""
     import asyncio
 
+    # Arm telemetry from the router's resolved settings (not this
+    # process's env/config): a spawn-started worker has no inherited
+    # globals, and a fork-started one must get a *fresh* recorder
+    # rather than the router's copied span ring.
+    telem = config.get("telemetry")
+    if telem is not None:
+        _telemetry.configure(
+            enabled=telem.get("enabled", False),
+            max_spans=telem.get("max_spans"),
+            sink_dir=telem.get("sink_dir"),
+        )
+
     async def run() -> None:
         registry = ModelRegistry(**config.get("registry", {}))
         for model_id, path in config.get("models", {}).items():
@@ -274,17 +302,37 @@ def _worker_main(conn, config: dict) -> None:
                 else:
                     send((req_id, "ok", result))
 
+            async def do_predict(payload: dict) -> dict:
+                value, flags = await service.predict(
+                    payload["model_id"],
+                    payload["targets"],
+                    z=payload.get("z"),
+                    deadline=payload.get("deadline"),
+                    priority=payload.get("priority", 0),
+                    detail=True,
+                )
+                return {"prediction": value, "degraded": flags["degraded"]}
+
             async def dispatch(op: str, payload: dict) -> Any:
                 if op == "predict":
-                    value, flags = await service.predict(
-                        payload["model_id"],
-                        payload["targets"],
-                        z=payload.get("z"),
-                        deadline=payload.get("deadline"),
-                        priority=payload.get("priority", 0),
-                        detail=True,
+                    ctx = (
+                        _trace_context.from_wire(payload.get("trace"))
+                        if _telemetry.enabled()
+                        else None
                     )
-                    return {"prediction": value, "degraded": flags["degraded"]}
+                    if ctx is None:
+                        return await do_predict(payload)
+                    # Each dispatched coroutine runs in its own copied
+                    # context (run_coroutine_threadsafe), so activating
+                    # the remote parent here cannot leak into another
+                    # in-flight request.
+                    with _trace_context.activate(ctx):
+                        with _telemetry.span(
+                            "worker.predict",
+                            model=str(payload["model_id"]),
+                            worker=config.get("worker_id", 0),
+                        ):
+                            return await do_predict(payload)
                 if op == "reload":
                     # Blocking work (disk read + engine build + possible
                     # factorization) stays off the event loop so predicts
@@ -310,11 +358,22 @@ def _worker_main(conn, config: dict) -> None:
                 if op == "models":
                     return registry.known_models
                 if op == "metrics":
-                    return {
+                    out = {
                         "service": service.metrics.snapshot(),
                         "registry": registry.stats(),
                         "breakers": service.breaker_states(),
                     }
+                    if _telemetry.enabled():
+                        out["telemetry"] = _registry_mod.get_registry().snapshot()
+                    return out
+                if op == "trace":
+                    recorder = _telemetry.get_recorder()
+                    spans = (
+                        recorder.for_trace(payload["trace_id"])
+                        if recorder is not None
+                        else []
+                    )
+                    return {"spans": spans}
                 if op == "ping":
                     return "pong"
                 raise ServerError(f"unknown worker op {op!r}")
@@ -631,6 +690,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _reply_text(
+        self, status: int, text: str, *, content_type: str = "text/plain"
+    ) -> None:
+        """Plain-text reply (the Prometheus exposition surface)."""
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def _reply_binary(
         self,
         meta: dict,
@@ -693,8 +763,33 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, server.health())
             elif self.path == "/v1/models":
                 self._reply(200, server.models())
-            elif self.path == "/v1/metrics":
-                self._reply(200, server.metrics())
+            elif self.path.startswith("/v1/metrics"):
+                split = urllib.parse.urlsplit(self.path)
+                if split.path != "/v1/metrics":
+                    self._reply_no_route()
+                    return
+                query = urllib.parse.parse_qs(split.query)
+                fmt = query.get("format", ["json"])[0]
+                if fmt == "prometheus":
+                    self._reply_text(
+                        200,
+                        server.metrics_prometheus(),
+                        content_type="text/plain; version=0.0.4; charset=utf-8",
+                    )
+                elif fmt == "json":
+                    self._reply(200, server.metrics())
+                else:
+                    raise ValueError(
+                        f"unknown metrics format {fmt!r} (expected 'json' or "
+                        "'prometheus')"
+                    )
+            elif self.path.startswith("/v1/trace"):
+                split = urllib.parse.urlsplit(self.path)
+                parts = [urllib.parse.unquote(p) for p in split.path.split("/") if p]
+                if parts[:2] != ["v1", "trace"] or len(parts) != 3:
+                    self._reply_no_route()
+                else:
+                    self._reply(200, server.trace_request(parts[2]))
             elif self.path.startswith("/v1/jobs"):
                 split = urllib.parse.urlsplit(self.path)
                 parts = [urllib.parse.unquote(p) for p in split.path.split("/") if p]
@@ -728,7 +823,19 @@ class _Handler(BaseHTTPRequestHandler):
             # re-encoding the payload).
             deadline = Deadline.from_header(self.headers.get("X-Repro-Deadline"))
             if self.path == "/v1/predict":
-                self._predict_route(server, deadline)
+                if not _telemetry.enabled():
+                    self._predict_route(server, deadline)
+                    return
+                # Trace ingress, parsed at the same edge as the deadline:
+                # continue the client's trace when the header parses,
+                # start a fresh one otherwise, so server-side spans are
+                # always connected under a single router span.
+                ctx = _trace_context.from_header(
+                    self.headers.get(_trace_context.TRACE_HEADER)
+                )
+                with _trace_context.activate(ctx or _trace_context.new_trace()):
+                    with _telemetry.span("router.predict"):
+                        self._predict_route(server, deadline)
                 return
             if self.path == "/v1/fit":
                 self._reply(200, server.fit_request(self._body()))
@@ -953,6 +1060,11 @@ class ServingServer:
         self._worker_retry = RetryPolicy(
             max_attempts=2, base_delay=0.0, jitter=0.0, retry_on=(ServerError,)
         )
+        # Telemetry settings resolved once, against this thread's
+        # config, and shipped in every worker's spawn config — a
+        # respawn on a handler thread must arm the fresh worker the
+        # same way the original was armed.
+        self._telemetry_settings = _telemetry.settings()
 
     # ------------------------------------------------------------- lifecycle
     def _worker_config(self, worker_id: int) -> dict:
@@ -973,6 +1085,7 @@ class ServingServer:
             },
             "registry": self.registry_options,
             "service": self.service_options,
+            "telemetry": self._telemetry_settings,
         }
 
     def start(self, *, ready_timeout: float = 60.0) -> "ServingServer":
@@ -1221,6 +1334,12 @@ class ServingServer:
                 "deadline": None,  # filled per send from the Deadline
                 "priority": int(body.get("priority", 0)),
             }
+            if _telemetry.enabled():
+                ctx = _trace_context.current()
+                if ctx is not None:
+                    # The ids travel; the worker's spans stay worker-side
+                    # and are re-joined by trace_request().
+                    payload["trace"] = _trace_context.to_wire(ctx)
             result = self._request(model_id, "predict", payload, deadline=deadline)
             return {
                 "model_id": model_id,
@@ -1497,6 +1616,55 @@ class ServingServer:
             "degraded": bool(dead),
             "dead_workers": dead,
         }
+
+    def metrics_prometheus(self) -> str:
+        """Fleet metrics in Prometheus text exposition format 0.0.4.
+
+        The router's own registry snapshot is merged with every live
+        worker's (counters/gauges sum; histograms sum bucket-wise), so
+        one scrape sees the whole fleet. With telemetry disabled this
+        renders the (empty) router registry — a valid, boring
+        exposition rather than an error, so scrapers can probe before
+        arming.
+        """
+        snapshots = [_registry_mod.get_registry().snapshot()]
+        for snap in self.metrics()["workers"].values():
+            telem = snap.get("telemetry") if isinstance(snap, dict) else None
+            if telem:
+                snapshots.append(telem)
+        return render_prometheus(_registry_mod.MetricsRegistry.merge(snapshots))
+
+    def trace_request(self, trace_id: str) -> dict:
+        """Assemble one trace's span tree across router + all workers.
+
+        Spans never travel with requests — each process keeps its own
+        ring — so this is the join point: the router's recorder plus a
+        ``trace`` op to every live worker, deduped and nested by
+        :func:`~repro.telemetry.export.assemble_trace`. An unknown (or
+        evicted) trace id raises :class:`TraceNotFoundError` → 404.
+        """
+        if not self._started:
+            raise ServiceClosedError("server is not running (use start() or 'with')")
+        spans: List[dict] = []
+        recorder = _telemetry.get_recorder()
+        if recorder is not None:
+            spans.extend(recorder.for_trace(trace_id))
+        for handle in self._workers:
+            if not handle.alive:
+                continue
+            try:
+                result = handle.request(
+                    "trace", {"trace_id": trace_id}, timeout=self.request_timeout
+                )
+            except ServerError:
+                continue  # a dead shard degrades the trace, not the route
+            spans.extend(result["spans"])
+        if not spans:
+            raise TraceNotFoundError(
+                f"no spans recorded for trace {trace_id!r} (telemetry off, "
+                "id unknown, or evicted from the bounded span ring)"
+            )
+        return assemble_trace(trace_id, spans)
 
     def health(self) -> dict:
         alive = [handle.alive for handle in self._workers]

@@ -59,6 +59,8 @@ from ..exceptions import (
 )
 from ..resilience.breaker import BreakerPool
 from ..resilience.faults import fault_point
+from ..telemetry import context as _trace_context
+from ..telemetry import spans as _telemetry
 from ..utils.validation import check_locations
 from .metrics import ServiceMetrics
 from .registry import ModelRegistry
@@ -82,7 +84,15 @@ __all__ = ["BatchPolicy", "PredictionService"]
 class _Request:
     """One queued predict: payload, bookkeeping, and the answer future."""
 
-    __slots__ = ("targets", "z", "future", "t_submit", "deadline", "priority")
+    __slots__ = (
+        "targets",
+        "z",
+        "future",
+        "t_submit",
+        "deadline",
+        "priority",
+        "trace_ctx",
+    )
 
     def __init__(
         self,
@@ -92,6 +102,7 @@ class _Request:
         t_submit: float,
         deadline: Optional[float],
         priority: int = 0,
+        trace_ctx: Optional[_trace_context.TraceContext] = None,
     ) -> None:
         self.targets = targets
         self.z = z
@@ -99,6 +110,10 @@ class _Request:
         self.t_submit = t_submit  # monotonic seconds
         self.deadline = deadline  # absolute monotonic seconds, or None
         self.priority = priority  # > 0: urgent lane, never waits the window
+        # run_in_executor does NOT propagate contextvars, so the trace
+        # context is captured here and re-activated on the executor
+        # thread — the one hand-off the contextvar cannot make itself.
+        self.trace_ctx = trace_ctx
 
 
 class BatchPolicy:
@@ -360,27 +375,29 @@ class PredictionService:
         )
         if z is not None:
             z = np.asarray(z, dtype=np.float64)
-        now = time.monotonic()
-        limit = self.default_deadline if deadline is None else deadline
-        req = _Request(
-            targets,
-            z,
-            self._loop.create_future(),
-            now,
-            None if limit is None else now + float(limit),
-            int(priority),
-        )
-        self.metrics.record_arrival(model_id, now)
-        queue = self._queue_for(model_id)
-        try:
-            queue.put_nowait(req)
-        except asyncio.QueueFull:
-            self.metrics.inc("rejected_overload")
-            raise ServiceOverloadedError(
-                f"model {model_id!r} has {self.max_queue} queued requests"
-            ) from None
-        self.metrics.inc("requests")
-        value, flags = await req.future
+        with _telemetry.span("service.predict", model=model_id):
+            now = time.monotonic()
+            limit = self.default_deadline if deadline is None else deadline
+            req = _Request(
+                targets,
+                z,
+                self._loop.create_future(),
+                now,
+                None if limit is None else now + float(limit),
+                int(priority),
+                trace_ctx=_trace_context.current() if _telemetry.enabled() else None,
+            )
+            self.metrics.record_arrival(model_id, now)
+            queue = self._queue_for(model_id)
+            try:
+                queue.put_nowait(req)
+            except asyncio.QueueFull:
+                self.metrics.inc("rejected_overload")
+                raise ServiceOverloadedError(
+                    f"model {model_id!r} has {self.max_queue} queued requests"
+                ) from None
+            self.metrics.inc("requests")
+            value, flags = await req.future
         if detail:
             return value, flags
         return value
@@ -464,9 +481,10 @@ class PredictionService:
         try:
             while True:
                 batch = [await queue.get()]
+                t_open = self._loop.time()
                 window, max_batch = self.effective_policy(model_id)
                 window_open = window > 0.0 and max_batch > 1
-                t_close = self._loop.time() + window
+                t_close = t_open + window
                 while len(batch) < max_batch:
                     # Drain the backlog synchronously first: under
                     # sustained load the batch fills from already-queued
@@ -489,6 +507,16 @@ class PredictionService:
                         batch.append(await asyncio.wait_for(queue.get(), remaining))
                     except asyncio.TimeoutError:
                         break
+                if _telemetry.enabled():
+                    # The coalescing wait, attributed to the request that
+                    # opened the round (the one that actually waited).
+                    _telemetry.record_span(
+                        "service.coalesce",
+                        self._loop.time() - t_open,
+                        ctx=batch[0].trace_ctx,
+                        model=model_id,
+                        batch=len(batch),
+                    )
                 now = time.monotonic()
                 live = []
                 for req in batch:
@@ -592,6 +620,29 @@ class PredictionService:
         last-known-good generation when one exists and fails fast with
         :class:`CircuitOpenError` otherwise.
         """
+        if not _telemetry.enabled():
+            return self._execute_inner(model_id, kind, group)
+        # Executor threads never inherit the submitting task's
+        # contextvars: re-activate the lead request's trace context so
+        # engine/stage spans attach under it, and record each request's
+        # queue wait (submit → execution start) in its own trace.
+        now = time.monotonic()
+        for req in group:
+            _telemetry.record_span(
+                "service.queue_wait",
+                max(0.0, now - req.t_submit),
+                ctx=req.trace_ctx,
+                model=model_id,
+            )
+        with _trace_context.activate(group[0].trace_ctx):
+            with _telemetry.span(
+                "service.execute", model=model_id, kind=kind, batch=len(group)
+            ):
+                return self._execute_inner(model_id, kind, group)
+
+    def _execute_inner(
+        self, model_id: str, kind: str, group: Sequence[_Request]
+    ) -> Tuple[List[np.ndarray], bool]:
         now = time.monotonic()
         for req in group:
             if req.deadline is not None and now > req.deadline:
@@ -606,6 +657,7 @@ class PredictionService:
                     f"model {model_id!r} circuit breaker is open",
                     retry_after=breaker.retry_after,
                 )
+            _telemetry.annotate("degraded", "breaker open: last-known-good engine")
             return self._run_engine(fallback, kind, group), True
         try:
             engine = self.registry.engine(model_id)

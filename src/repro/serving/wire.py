@@ -109,6 +109,7 @@ import numpy as np
 from ..exceptions import PayloadTooLargeError, WireFormatError
 from ..resilience.faults import fault_point
 from ..resilience.policy import Deadline
+from ..telemetry import spans as _telemetry
 
 __all__ = [
     "CONTENT_TYPE",
@@ -288,25 +289,29 @@ def plan_message(
     iterator. The single place the compression decision is made, so
     length and body can never disagree.
     """
-    pieces: List[Union[bytes, memoryview]] = []
-    payload = _meta_bytes(meta)
-    pieces.append(_frame_head(_KIND_META, b"", len(payload)) + payload)
-    for name, value in (arrays or {}).items():
-        arr, tag, order = _wire_array(name, value)
-        view = _byte_view(arr, order)
-        fields = {"name": str(name), "dtype": tag, "shape": list(arr.shape),
-                  "order": order}
-        body: Union[bytes, memoryview] = view
-        if compress:
-            deflated = _maybe_deflate(view)
-            if deflated is not None:
-                fields["encoding"] = "deflate"
-                body = deflated
-        header = json.dumps(fields).encode("utf-8")
-        pieces.append(_frame_head(_KIND_ARRAY, header, len(body)) + header)
-        pieces.append(body)
-    pieces.append(_frame_head(_KIND_END, b"", 0))
-    return _MessagePlan(pieces)
+    # The encode span covers planning: array staging and the (probed)
+    # compression pass — the CPU cost of the codec. Chunk streaming
+    # afterwards is I/O-bound and accounted by the caller's span.
+    with _telemetry.span("wire.encode", arrays=len(arrays or ())):
+        pieces: List[Union[bytes, memoryview]] = []
+        payload = _meta_bytes(meta)
+        pieces.append(_frame_head(_KIND_META, b"", len(payload)) + payload)
+        for name, value in (arrays or {}).items():
+            arr, tag, order = _wire_array(name, value)
+            view = _byte_view(arr, order)
+            fields = {"name": str(name), "dtype": tag, "shape": list(arr.shape),
+                      "order": order}
+            body: Union[bytes, memoryview] = view
+            if compress:
+                deflated = _maybe_deflate(view)
+                if deflated is not None:
+                    fields["encoding"] = "deflate"
+                    body = deflated
+            header = json.dumps(fields).encode("utf-8")
+            pieces.append(_frame_head(_KIND_ARRAY, header, len(body)) + header)
+            pieces.append(body)
+        pieces.append(_frame_head(_KIND_END, b"", 0))
+        return _MessagePlan(pieces)
 
 
 def iter_message(
@@ -478,6 +483,16 @@ def read_message(
     bad magic/version/kind, malformed headers, dtype/shape mismatches,
     and streams truncated before the END frame.
     """
+    with _telemetry.span("wire.decode"):
+        return _read_message_inner(read, max_bytes, deadline, chunk_size)
+
+
+def _read_message_inner(
+    read: Callable[[int], bytes],
+    max_bytes: Optional[int],
+    deadline: Optional[Deadline],
+    chunk_size: int,
+) -> Tuple[dict, Dict[str, np.ndarray]]:
     budget = _Budget(max_bytes)
     meta: Optional[dict] = None
     arrays: Dict[str, np.ndarray] = {}

@@ -1,0 +1,160 @@
+"""Trace context: one id that follows a request across processes.
+
+A :class:`TraceContext` is the minimal W3C-traceparent-style triple
+``(trace_id, span_id, parent_id)``. It is carried in a
+:class:`contextvars.ContextVar`, so nested :func:`~repro.telemetry.span`
+calls on the same thread (or the same asyncio task) automatically
+parent correctly, and it crosses process boundaries in two places:
+
+* the ``X-Repro-Trace`` HTTP header (``<trace_id>:<span_id>``),
+  alongside the existing ``X-Repro-Deadline`` plumbing, and
+* the router→worker pipe payload (a ``(trace_id, span_id)`` pair under
+  the ``"trace"`` key).
+
+Both codecs are *lossy on purpose*: only the ids travel; spans
+themselves stay in the process that recorded them and are re-joined by
+the router when ``/v1/trace/<trace_id>`` assembles the tree.
+
+Context propagation caveats (the two that bit every other layer of
+this repo): ``loop.run_in_executor`` does **not** copy contextvars
+into the executor thread, and :class:`~repro.runtime.Runtime` worker
+threads never see the submitting thread's context. Callers that hop
+threads must capture :func:`current` and re-:func:`activate` it on the
+other side — ``PredictionService`` does exactly that for batch
+execution.
+"""
+
+from __future__ import annotations
+
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+__all__ = [
+    "TRACE_HEADER",
+    "TraceContext",
+    "activate",
+    "child_of",
+    "current",
+    "from_header",
+    "from_wire",
+    "new_span_id",
+    "new_trace",
+    "to_header",
+    "to_wire",
+]
+
+TRACE_HEADER = "X-Repro-Trace"
+
+_HEX = frozenset("0123456789abcdef")
+
+
+def new_span_id() -> str:
+    """A fresh 12-hex-char span id (collision odds ~1e-7 at 10k spans)."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity of "where am I" inside one distributed trace.
+
+    ``span_id`` names the *currently open* span (or, for a context
+    parsed off the wire, the remote parent every local span should
+    attach under). ``parent_id`` is ``None`` for a trace root.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+
+_CURRENT: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current() -> Optional[TraceContext]:
+    """The active trace context on this thread/task, or ``None``."""
+    return _CURRENT.get()
+
+
+def new_trace() -> TraceContext:
+    """Start a brand-new trace (a root context with no parent)."""
+    return TraceContext(trace_id=uuid.uuid4().hex[:16], span_id=new_span_id())
+
+
+def child_of(ctx: TraceContext) -> TraceContext:
+    """A child context: same trace, fresh span id, parented to *ctx*."""
+    return TraceContext(
+        trace_id=ctx.trace_id, span_id=new_span_id(), parent_id=ctx.span_id
+    )
+
+
+@contextmanager
+def activate(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Install *ctx* as the current context for the ``with`` body."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+def set_current(ctx: Optional[TraceContext]):
+    """Non-contextmanager form of :func:`activate`; returns the reset token."""
+    return _CURRENT.set(ctx)
+
+
+def reset_current(token) -> None:
+    _CURRENT.reset(token)
+
+
+# --------------------------------------------------------------------------
+# HTTP header codec
+
+
+def to_header(ctx: TraceContext) -> str:
+    """Serialize for the ``X-Repro-Trace`` header: ``trace_id:span_id``."""
+    return f"{ctx.trace_id}:{ctx.span_id}"
+
+
+def _is_hex_id(value: str, lo: int = 4, hi: int = 32) -> bool:
+    return lo <= len(value) <= hi and all(c in _HEX for c in value)
+
+
+def from_header(value: Optional[str]) -> Optional[TraceContext]:
+    """Parse an ``X-Repro-Trace`` header; malformed values are ignored.
+
+    A header is remote input — a garbage value must not take the
+    request down, it just starts an unlinked trace locally.
+    """
+    if not value:
+        return None
+    parts = value.strip().lower().split(":")
+    if len(parts) != 2:
+        return None
+    trace_id, span_id = parts
+    if not (_is_hex_id(trace_id) and _is_hex_id(span_id)):
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+# --------------------------------------------------------------------------
+# Pipe payload codec (router → worker)
+
+
+def to_wire(ctx: TraceContext) -> Tuple[str, str]:
+    return (ctx.trace_id, ctx.span_id)
+
+
+def from_wire(value: object) -> Optional[TraceContext]:
+    if not isinstance(value, Sequence) or len(value) != 2:
+        return None
+    trace_id, span_id = value
+    if not (isinstance(trace_id, str) and isinstance(span_id, str)):
+        return None
+    if not (_is_hex_id(trace_id) and _is_hex_id(span_id)):
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)

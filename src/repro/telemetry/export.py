@@ -1,0 +1,214 @@
+"""Export surfaces: Prometheus text exposition and trace-tree assembly.
+
+Two consumers, two formats:
+
+* ``/v1/metrics?format=prometheus`` → :func:`render_prometheus` over
+  the merged router+worker registry snapshot (text exposition format
+  0.0.4; JSON stays the default for back-compat).
+* ``/v1/trace/<trace_id>`` → :func:`assemble_trace` over the spans
+  every process recorded for that id — the router pulls worker spans
+  over the pipe and hands the union here to be deduped, sorted, and
+  nested into a tree.
+
+:func:`lint_prometheus` is a self-check (used by tests and the
+observability benchmark) that the exposition actually parses:
+HELP/TYPE comments precede samples, names are legal, values are
+floats.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "assemble_trace",
+    "lint_prometheus",
+    "render_prometheus",
+]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_SAMPLE_LINE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*\Z"
+)
+_LABEL = re.compile(r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"\Z')
+
+
+def _sanitize(name: str) -> str:
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def _fmt(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Dict[str, Any], prefix: str = "repro") -> str:
+    """Render a (possibly merged) registry snapshot as exposition text.
+
+    Counter names get the conventional ``_total`` suffix if they don't
+    already carry one; histogram ``le`` buckets are emitted cumulative
+    with the mandatory ``+Inf`` bucket.
+    """
+    help_text = snapshot.get("help", {})
+    lines: List[str] = []
+
+    def emit_meta(raw: str, name: str, kind: str) -> None:
+        h = help_text.get(raw)
+        if h:
+            lines.append(f"# HELP {name} {_escape_help(h)}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for raw in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][raw]
+        name = _sanitize(f"{prefix}_{raw}")
+        if not name.endswith("_total"):
+            name += "_total"
+        emit_meta(raw, name, "counter")
+        lines.append(f"{name} {_fmt(value)}")
+    for raw in sorted(snapshot.get("gauges", {})):
+        value = snapshot["gauges"][raw]
+        name = _sanitize(f"{prefix}_{raw}")
+        emit_meta(raw, name, "gauge")
+        lines.append(f"{name} {_fmt(value)}")
+    for raw in sorted(snapshot.get("histograms", {})):
+        h = snapshot["histograms"][raw]
+        name = _sanitize(f"{prefix}_{raw}")
+        emit_meta(raw, name, "histogram")
+        cumulative = 0
+        for bound, count in zip(h["buckets"], h["counts"]):
+            cumulative += count
+            lines.append(f'{name}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}')
+        cumulative += h["counts"][len(h["buckets"])] if len(h["counts"]) > len(h["buckets"]) else 0
+        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{name}_sum {_fmt(h['sum'])}")
+        lines.append(f"{name}_count {h['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def lint_prometheus(text: str) -> None:
+    """Raise ``ValueError`` if *text* is not valid exposition format.
+
+    Checks line shape, metric-name legality, label syntax, float
+    parseability, and that every sample's family was TYPE-declared.
+    """
+    declared: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("TYPE", "HELP"):
+                if parts[1] == "TYPE":
+                    if len(parts) < 4 or parts[3] not in (
+                        "counter",
+                        "gauge",
+                        "histogram",
+                        "summary",
+                        "untyped",
+                    ):
+                        raise ValueError(f"line {lineno}: bad TYPE: {line!r}")
+                    declared[parts[2]] = parts[3]
+                continue
+            raise ValueError(f"line {lineno}: bad comment: {line!r}")
+        m = _SAMPLE_LINE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {line!r}")
+        name = m.group("name")
+        labels = m.group("labels")
+        if labels:
+            for part in _split_labels(labels):
+                if not _LABEL.match(part):
+                    raise ValueError(f"line {lineno}: bad label {part!r}")
+        value = m.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                raise ValueError(f"line {lineno}: bad value {value!r}") from None
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                family = name[: -len(suffix)]
+                break
+        if family not in declared:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE")
+
+
+def _split_labels(labels: str) -> List[str]:
+    parts: List[str] = []
+    depth_quote = False
+    current = []
+    i = 0
+    while i < len(labels):
+        c = labels[i]
+        if c == '"' and (i == 0 or labels[i - 1] != "\\"):
+            depth_quote = not depth_quote
+        if c == "," and not depth_quote:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(c)
+        i += 1
+    if current:
+        parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+
+
+# --------------------------------------------------------------------------
+# Trace assembly
+
+
+def assemble_trace(
+    trace_id: str, spans: Iterable[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Join spans from many processes into one tree.
+
+    Dedupes by ``span_id`` (a worker's spans may be collected twice if
+    a request raced the collection), sorts children by start time, and
+    nests under parents. Spans whose parent never made it into any
+    recorder (e.g. dropped by a full ring) surface as extra roots —
+    the tree is best-effort, the flat ``spans`` list is the ground
+    truth.
+    """
+    by_id: Dict[str, Dict[str, Any]] = {}
+    for s in spans:
+        if s.get("trace_id") != trace_id:
+            continue
+        sid = s.get("span_id")
+        if sid and sid not in by_id:
+            by_id[sid] = dict(s)
+    flat = sorted(by_id.values(), key=lambda s: (s.get("t_start", 0.0), s.get("span_id", "")))
+
+    nodes: Dict[str, Dict[str, Any]] = {
+        s["span_id"]: {**s, "children": []} for s in flat
+    }
+    roots: List[Dict[str, Any]] = []
+    for s in flat:
+        node = nodes[s["span_id"]]
+        parent = s.get("parent_id")
+        if parent and parent in nodes:
+            nodes[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    return {
+        "trace_id": trace_id,
+        "span_count": len(flat),
+        "spans": flat,
+        "tree": roots,
+    }

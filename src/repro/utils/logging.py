@@ -2,6 +2,10 @@
 
 Set ``REPRO_LOG=DEBUG`` (or INFO/WARNING) to see runtime scheduling and MLE
 iteration traces without configuring the stdlib logging tree yourself.
+
+Log lines carry the active telemetry trace id (``[-]`` when none), so a
+slow request's logs and its ``/v1/trace/<id>`` span tree correlate by
+one grep.
 """
 
 from __future__ import annotations
@@ -9,21 +13,72 @@ from __future__ import annotations
 import logging
 import os
 
+from ..telemetry import context as _trace_context
+
 __all__ = ["get_logger"]
 
 _CONFIGURED = False
+
+
+def _level_names() -> dict:
+    # getLevelNamesMapping is 3.11+; fall back to the stable public names.
+    getter = getattr(logging, "getLevelNamesMapping", None)
+    if getter is not None:
+        return getter()
+    return {
+        "CRITICAL": logging.CRITICAL,
+        "FATAL": logging.FATAL,
+        "ERROR": logging.ERROR,
+        "WARN": logging.WARNING,
+        "WARNING": logging.WARNING,
+        "INFO": logging.INFO,
+        "DEBUG": logging.DEBUG,
+        "NOTSET": logging.NOTSET,
+    }
+
+
+def _parse_level(level_name: str) -> int:
+    """Resolve a level *name* strictly against the logging level table.
+
+    A plain ``getattr(logging, name)`` would resolve *any* module
+    attribute — ``REPRO_LOG=raiseExceptions`` yields ``True`` (level 1,
+    everything on) and ``REPRO_LOG=os`` a module object — so validate
+    against the real level mapping and fall back loudly instead.
+    """
+    names = _level_names()
+    level = names.get(level_name.upper())
+    if level is None:
+        print(
+            f"repro: ignoring invalid REPRO_LOG={level_name!r} "
+            f"(expected one of {sorted(names)}); using WARNING",
+            flush=True,
+        )
+        return logging.WARNING
+    return level
+
+
+class _TraceIdFilter(logging.Filter):
+    """Stamp every record with the active telemetry trace id (or ``-``)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        ctx = _trace_context.current()
+        record.trace_id = ctx.trace_id if ctx is not None else "-"
+        return True
 
 
 def _configure_root() -> None:
     global _CONFIGURED
     if _CONFIGURED:
         return
-    level_name = os.environ.get("REPRO_LOG", "WARNING").upper()
-    level = getattr(logging, level_name, logging.WARNING)
+    level = _parse_level(os.environ.get("REPRO_LOG", "WARNING"))
     handler = logging.StreamHandler()
     handler.setFormatter(
-        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+        logging.Formatter(
+            "%(asctime)s %(name)s %(levelname)s [%(trace_id)s]: %(message)s",
+            "%H:%M:%S",
+        )
     )
+    handler.addFilter(_TraceIdFilter())
     root = logging.getLogger("repro")
     root.setLevel(level)
     if not root.handlers:

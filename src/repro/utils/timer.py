@@ -13,6 +13,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
+from ..telemetry import spans as _telemetry
+
 __all__ = ["Stopwatch", "StageTimes", "timed"]
 
 
@@ -57,10 +59,18 @@ class StageTimes:
 
     @contextlib.contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        """Context manager accumulating wall time into stage ``name``."""
+        """Context manager accumulating wall time into stage ``name``.
+
+        Doubles as a telemetry hook: every stage also records a
+        ``stage:<name>`` span when telemetry is armed, so the
+        generation / factorization / solve decomposition shows up
+        nested inside whatever request or fit span is active — no
+        second instrumentation pass over the evaluators.
+        """
         t0 = time.perf_counter()
         try:
-            yield
+            with _telemetry.span(f"stage:{name}"):
+                yield
         finally:
             self.stages[name] = self.stages.get(name, 0.0) + time.perf_counter() - t0
 

@@ -1,0 +1,19 @@
+"""Telemetry tests arm/disarm process-global state; keep it hermetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import reset_registry, reset_telemetry
+
+
+@pytest.fixture(autouse=True)
+def _pristine_telemetry():
+    """Every test starts and ends with telemetry unresolved and the
+    metrics registry empty, so armed tests cannot leak into the rest of
+    the suite (the switch is process-global by design)."""
+    reset_telemetry()
+    reset_registry()
+    yield
+    reset_telemetry()
+    reset_registry()

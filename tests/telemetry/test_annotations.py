@@ -1,0 +1,78 @@
+"""Breaker transitions and fault firings annotate the active span."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InjectedFaultError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultPlan, FaultRule, arm, disarm, fault_point
+from repro.telemetry.spans import configure, get_recorder, span
+
+
+@pytest.fixture(autouse=True)
+def _armed_no_faults():
+    configure(enabled=True)
+    yield
+    disarm()
+
+
+def _by_name(name):
+    (rec,) = [r for r in get_recorder().snapshot() if r["name"] == name]
+    return rec
+
+
+def test_breaker_lifecycle_annotates_spans():
+    t = [0.0]
+    breaker = CircuitBreaker(
+        failure_threshold=2, recovery_time=1.0, clock=lambda: t[0]
+    )
+    with span("req-a"):
+        breaker.record_failure()
+        breaker.record_failure()  # trips: closed -> open
+    t[0] = 2.0
+    with span("req-b"):
+        assert breaker.allow() is True  # recovery tick: open -> half-open
+        breaker.record_success()  # probe succeeds: half-open -> closed
+    assert ["breaker", "closed -> open"] in _by_name("req-a")["annotations"]
+    anns = _by_name("req-b")["annotations"]
+    assert ["breaker", "open -> half-open"] in anns
+    assert ["breaker", "half-open -> closed"] in anns
+
+
+def test_reopen_from_half_open_names_the_source_state():
+    t = [0.0]
+    breaker = CircuitBreaker(
+        failure_threshold=1, recovery_time=1.0, clock=lambda: t[0]
+    )
+    breaker.record_failure()  # closed -> open (no span: must not raise)
+    t[0] = 2.0
+    with span("probe"):
+        assert breaker.allow() is True
+        breaker.record_failure()  # half-open -> open
+    anns = _by_name("probe")["annotations"]
+    assert ["breaker", "half-open -> open"] in anns
+
+
+def test_fault_firing_annotates_with_site_hit_action():
+    arm(FaultPlan(rules=[
+        FaultRule(site="engine.predict", action="raise", after=1, count=1)
+    ]))
+    with span("guard"):
+        fault_point("engine.predict")  # hit 1: passes silently
+        with pytest.raises(InjectedFaultError):
+            fault_point("engine.predict")  # hit 2: fires and annotates
+    anns = _by_name("guard")["annotations"]
+    assert ["fault", "engine.predict#2:raise"] in anns
+    assert ["fault", "engine.predict#1:raise"] not in anns
+
+
+def test_annotations_are_noops_without_telemetry():
+    from repro.telemetry.spans import reset_telemetry
+
+    reset_telemetry()
+    breaker = CircuitBreaker(failure_threshold=1, recovery_time=1.0)
+    breaker.record_failure()  # must not raise with telemetry unresolved
+    arm(FaultPlan(rules=[FaultRule(site="engine.predict", action="delay", delay=0.001)]))
+    fault_point("engine.predict")
+    assert get_recorder() is None

@@ -1,0 +1,70 @@
+"""TraceContext: codecs, nesting, and contextvar activation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import context as tctx
+
+
+def test_new_trace_is_root():
+    ctx = tctx.new_trace()
+    assert ctx.parent_id is None
+    assert len(ctx.trace_id) == 16
+    assert len(ctx.span_id) == 12
+    assert ctx.trace_id != tctx.new_trace().trace_id
+
+
+def test_child_of_keeps_trace_and_parents():
+    root = tctx.new_trace()
+    child = tctx.child_of(root)
+    assert child.trace_id == root.trace_id
+    assert child.parent_id == root.span_id
+    assert child.span_id != root.span_id
+
+
+def test_activation_is_scoped():
+    assert tctx.current() is None
+    ctx = tctx.new_trace()
+    with tctx.activate(ctx):
+        assert tctx.current() is ctx
+        inner = tctx.child_of(ctx)
+        with tctx.activate(inner):
+            assert tctx.current() is inner
+        assert tctx.current() is ctx
+    assert tctx.current() is None
+
+
+def test_header_roundtrip():
+    ctx = tctx.new_trace()
+    parsed = tctx.from_header(tctx.to_header(ctx))
+    assert parsed.trace_id == ctx.trace_id
+    assert parsed.span_id == ctx.span_id
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        None,
+        "",
+        "no-colon",
+        "a:b:c",
+        "xyz!:deadbeef1234",  # non-hex trace id
+        "deadbeefdeadbeef:GHIJKL123456",  # non-hex span id
+        "ab:cd",  # too short
+        "f" * 64 + ":" + "a" * 12,  # absurdly long trace id
+    ],
+)
+def test_malformed_header_is_ignored(bad):
+    assert tctx.from_header(bad) is None
+
+
+def test_wire_roundtrip_and_validation():
+    ctx = tctx.new_trace()
+    parsed = tctx.from_wire(tctx.to_wire(ctx))
+    assert parsed.trace_id == ctx.trace_id
+    assert parsed.span_id == ctx.span_id
+    assert tctx.from_wire(None) is None
+    assert tctx.from_wire(("one",)) is None
+    assert tctx.from_wire((1, 2)) is None
+    assert tctx.from_wire(("nothex!", "deadbeef1234")) is None

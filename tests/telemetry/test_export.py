@@ -1,0 +1,101 @@
+"""Prometheus rendering/linting and cross-process trace assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.export import assemble_trace, lint_prometheus, render_prometheus
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _snapshot():
+    reg = MetricsRegistry()
+    reg.counter("requests", help="total requests").inc(7)
+    reg.gauge("warm_engines").set(2)
+    h = reg.histogram("latency_seconds", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 5.0):
+        h.observe(v)
+    return reg.snapshot()
+
+
+def test_render_passes_lint():
+    text = render_prometheus(_snapshot())
+    lint_prometheus(text)  # must not raise
+
+
+def test_counter_gets_total_suffix_and_type():
+    text = render_prometheus(_snapshot())
+    assert "# TYPE repro_requests_total counter" in text
+    assert "\nrepro_requests_total 7" in text
+    assert "# HELP repro_requests_total total requests" in text
+    # gauges are not suffixed
+    assert "repro_warm_engines 2" in text
+
+
+def test_histogram_buckets_are_cumulative_with_inf():
+    lines = render_prometheus(_snapshot()).splitlines()
+    buckets = [l for l in lines if l.startswith("repro_latency_seconds_bucket")]
+    assert buckets == [
+        'repro_latency_seconds_bucket{le="0.1"} 1',
+        'repro_latency_seconds_bucket{le="1"} 2',
+        'repro_latency_seconds_bucket{le="+Inf"} 3',
+    ]
+    assert "repro_latency_seconds_count 3" in lines
+    assert any(l.startswith("repro_latency_seconds_sum") for l in lines)
+
+
+def test_render_sanitizes_hostile_names():
+    snap = {"counters": {"bad name-with.dots": 1}, "gauges": {}, "histograms": {}, "help": {}}
+    text = render_prometheus(snap)
+    lint_prometheus(text)
+    assert "repro_bad_name_with_dots_total 1" in text
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "no_type_declared 1\n",
+        "# TYPE x counter\nx 1\nx{le=} 2\n",
+        "# TYPE x counter\nx not-a-number\n",
+        "# BOGUS comment\n",
+    ],
+)
+def test_lint_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        lint_prometheus(bad)
+
+
+def _span(sid, parent, name, t):
+    return {
+        "trace_id": "t1",
+        "span_id": sid,
+        "parent_id": parent,
+        "name": name,
+        "t_start": t,
+        "duration": 0.01,
+    }
+
+
+def test_assemble_nests_dedupes_and_sorts():
+    spans = [
+        _span("b", "a", "child-late", 2.0),
+        _span("a", None, "root", 0.0),
+        _span("c", "a", "child-early", 1.0),
+        _span("b", "a", "child-late", 2.0),  # duplicate collection
+        {"trace_id": "other", "span_id": "z", "parent_id": None, "name": "noise", "t_start": 0.0},
+    ]
+    tree = assemble_trace("t1", spans)
+    assert tree["span_count"] == 3
+    (root,) = tree["tree"]
+    assert root["name"] == "root"
+    assert [c["name"] for c in root["children"]] == ["child-early", "child-late"]
+
+
+def test_assemble_orphans_become_roots():
+    spans = [
+        _span("a", None, "root", 0.0),
+        _span("x", "missing-parent", "orphan", 1.0),
+    ]
+    tree = assemble_trace("t1", spans)
+    assert [r["name"] for r in tree["tree"]] == ["root", "orphan"]
+    assert tree["span_count"] == 2

@@ -1,0 +1,50 @@
+"""REPRO_LOG level parsing and trace-id log stamping."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.telemetry import context as tctx
+from repro.utils.logging import _parse_level, _TraceIdFilter
+
+
+def test_valid_levels_parse():
+    assert _parse_level("DEBUG") == logging.DEBUG
+    assert _parse_level("info") == logging.INFO
+    assert _parse_level("Warning") == logging.WARNING
+    assert _parse_level("ERROR") == logging.ERROR
+
+
+def test_module_attribute_is_not_a_level(capsys):
+    # getattr(logging, "raiseExceptions") is True == level 1: the old
+    # parser enabled *everything*. Must fall back to WARNING and say so.
+    assert _parse_level("raiseExceptions") == logging.WARNING
+    out = capsys.readouterr().out
+    assert "raiseExceptions" in out
+    assert "WARNING" in out
+
+
+@pytest.mark.parametrize("bogus", ["os", "", "TRACE", "15"])
+def test_unknown_levels_fall_back(bogus, capsys):
+    assert _parse_level(bogus) == logging.WARNING
+    assert "ignoring invalid REPRO_LOG" in capsys.readouterr().out
+
+
+def _record():
+    return logging.LogRecord("repro.t", logging.INFO, __file__, 1, "msg", (), None)
+
+
+def test_trace_id_filter_stamps_dash_without_context():
+    rec = _record()
+    assert _TraceIdFilter().filter(rec) is True
+    assert rec.trace_id == "-"
+
+
+def test_trace_id_filter_stamps_active_trace():
+    ctx = tctx.new_trace()
+    with tctx.activate(ctx):
+        rec = _record()
+        _TraceIdFilter().filter(rec)
+    assert rec.trace_id == ctx.trace_id

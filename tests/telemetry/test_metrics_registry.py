@@ -1,0 +1,108 @@
+"""MetricsRegistry: counters, gauges, histograms, merge, façade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.telemetry.spans import configure
+
+
+def test_counter_monotonic_and_typed():
+    reg = MetricsRegistry()
+    c = reg.counter("requests", help="total requests")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(TelemetryError):
+        c.inc(-1)
+    # get-or-create returns the same object
+    assert reg.counter("requests") is c
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("inflight")
+    g.set(3.0)
+    g.inc()
+    g.dec(2.0)
+    assert g.value == 2.0
+
+
+def test_histogram_buckets_and_overflow():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 0.5, 5.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["buckets"] == [0.1, 1.0]
+    assert snap["counts"] == [1, 2, 1]  # last slot = overflow (+Inf)
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(6.05)
+
+
+def test_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TelemetryError):
+        reg.gauge("x")
+
+
+def test_snapshot_and_merge_sum_everything():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for reg, n in ((a, 1), (b, 2)):
+        reg.counter("req").inc(n)
+        reg.gauge("load").set(float(n))
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5 * n)
+    merged = MetricsRegistry.merge([a.snapshot(), b.snapshot()])
+    assert merged["counters"]["req"] == 3
+    assert merged["gauges"]["load"] == 3.0
+    h = merged["histograms"]["lat"]
+    assert h["count"] == 2
+    assert h["counts"][0] == 2  # both observations under the 1.0 bucket
+    assert h["sum"] == pytest.approx(1.5)
+
+
+def test_merge_mismatched_buckets_folds_to_counts():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+    b.histogram("lat", buckets=(0.5,)).observe(0.05)
+    merged = MetricsRegistry.merge([a.snapshot(), b.snapshot()])
+    h = merged["histograms"]["lat"]
+    assert h["count"] == 2  # totals survive even when buckets can't align
+    assert h["sum"] == pytest.approx(0.1)
+
+
+def test_default_buckets_are_sorted():
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+def test_service_metrics_facade_mirrors_when_armed():
+    from repro.serving.metrics import ServiceMetrics
+
+    configure(enabled=True)
+    m = ServiceMetrics()
+    m.inc("requests", 3)
+    m.observe_latency(0.02)
+    reg = get_registry()
+    snap = reg.snapshot()
+    assert snap["counters"]["service_requests"] == 3
+    assert snap["histograms"]["service_latency_seconds"]["count"] == 1
+    # the plain snapshot() surface is unchanged
+    assert m.snapshot()["counters"]["requests"] == 3
+
+
+def test_service_metrics_facade_silent_when_disabled():
+    from repro.serving.metrics import ServiceMetrics
+
+    m = ServiceMetrics()
+    m.inc("requests")
+    m.observe_latency(0.01)
+    snap = get_registry().snapshot()
+    assert snap["counters"] == {}
+    assert snap["histograms"] == {}

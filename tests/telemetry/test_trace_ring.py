@@ -1,0 +1,83 @@
+"""Bounded runtime TraceRecorder ring + telemetry-armed Runtime wiring."""
+
+from __future__ import annotations
+
+from repro.config import use_config
+from repro.runtime import Runtime
+from repro.runtime.trace import TraceEvent, TraceRecorder
+from repro.telemetry.spans import configure
+
+
+def _ev(i, t=None):
+    t = float(i) if t is None else t
+    return TraceEvent(task_id=i, name=f"t{i}", worker=0, t_start=t, t_end=t + 0.5)
+
+
+def test_unbounded_by_default():
+    rec = TraceRecorder()
+    for i in range(10):
+        rec.record(_ev(i))
+    assert len(rec) == 10
+    assert rec.dropped == 0
+    assert rec.total_recorded == 10
+
+
+def test_ring_drops_oldest_and_counts():
+    rec = TraceRecorder(max_events=3)
+    for i in range(5):
+        rec.record(_ev(i))
+    assert len(rec) == 3
+    assert rec.dropped == 2
+    assert rec.total_recorded == 5
+    assert [e.task_id for e in rec.events] == [2, 3, 4]
+    # analysis views still work on the surviving window
+    assert rec.makespan() == 2.5
+
+
+def test_tail_since_watermark():
+    rec = TraceRecorder(max_events=10)
+    rec.record(_ev(0))
+    mark = rec.total_recorded
+    rec.record(_ev(1))
+    rec.record(_ev(2))
+    assert [e.task_id for e in rec.tail(mark)] == [1, 2]
+    assert rec.tail(rec.total_recorded) == []
+
+
+def test_tail_best_effort_under_full_ring():
+    rec = TraceRecorder(max_events=2)
+    mark = rec.total_recorded  # 0
+    for i in range(5):
+        rec.record(_ev(i))
+    # 5 new events but only 2 survive: tail is clamped to what exists.
+    assert [e.task_id for e in rec.tail(mark)] == [3, 4]
+
+
+def test_clear_resets_all_counters():
+    rec = TraceRecorder(max_events=2)
+    for i in range(4):
+        rec.record(_ev(i))
+    rec.clear()
+    assert len(rec) == 0
+    assert rec.dropped == 0
+    assert rec.total_recorded == 0
+
+
+def test_runtime_trace_recorder_off_by_default():
+    with Runtime(num_workers=1, engine="serial") as rt:
+        assert rt.trace is None
+
+
+def test_runtime_gets_bounded_recorder_when_armed():
+    configure(enabled=True)
+    with use_config(telemetry_max_spans=77):
+        with Runtime(num_workers=1, engine="serial") as rt:
+            assert rt.trace is not None
+            assert rt.trace.max_events == 77
+
+
+def test_runtime_explicit_trace_stays_unbounded():
+    configure(enabled=True)
+    with Runtime(num_workers=1, engine="serial", trace=True) as rt:
+        assert rt.trace is not None
+        assert rt.trace.max_events is None
