@@ -1,0 +1,245 @@
+#!/usr/bin/env python
+"""Autotune benchmark: does the calibrated model predict real phase times?
+
+The planner's whole value rests on one claim — constants fitted from
+second-scale micro-probes predict the phase times of *real* workloads.
+This benchmark closes that loop on the current host:
+
+* **calibrate** — run the full probe suite (:func:`repro.perfmodel.autotune`)
+  and record the fitted constants and the probe wall time;
+* **plan vs measured** — for two workloads at ``n≈900`` (a dense-tile
+  and a TLR configuration), compare the planner's predicted
+  fit-iteration and prediction totals against a measured
+  :class:`~repro.mle.loglik.LikelihoodEvaluator` evaluation and a
+  kriging solve. The **2x band** (0.5 ≤ predicted/measured ≤ 2.0) is
+  asserted — the paper-model tradition of "right to within a factor of
+  two beats wrong to within an order of magnitude";
+* **plan over HTTP** — boot a :class:`~repro.serving.ServingServer`
+  on the freshly saved profile and fetch ``GET /v1/plan`` end to end.
+
+Results go to ``BENCH_autotune.json``.
+
+Run as a script:
+
+    PYTHONPATH=src python benchmarks/bench_autotune.py
+
+or through the benchmark suite (same sizes — calibration is cheap):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_autotune.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.data import generate_irregular_grid, sample_gaussian_field, sort_locations
+from repro.kernels import MaternCovariance
+from repro.mle import PredictionEngine
+from repro.mle.loglik import LikelihoodEvaluator
+from repro.perfmodel.autotune import autotune
+from repro.perfmodel.planner import Planner, predict_workload
+from repro.serving import ServingClient, ServingServer
+
+THETA = (1.0, 0.1, 0.5)
+
+# TLR tile ladder for the plan-accuracy workload: capped so n=900 keeps
+# several tiles per side (an uncapped search may pick nb=n, a degenerate
+# single dense tile that exercises no TLR machinery).
+TLR_TILE_SIZES = (96, 128, 192, 256, 300)
+
+
+def run_calibration(sizes, repeats: int, seed: int) -> dict:
+    t0 = time.perf_counter()
+    profile = autotune(sizes=tuple(sizes), repeats=repeats, seed=seed)
+    wall = time.perf_counter() - t0
+    return {
+        "profile": profile,
+        "probe_wall_s": wall,
+        "constants": dict(profile.constants),
+        "sizes": list(sizes),
+        "repeats": repeats,
+    }
+
+
+def measure_workload(
+    profile, n: int, m: int, *, variant: str, nb: int, acc: Optional[float]
+) -> dict:
+    """Measured vs predicted phase times for one (variant, nb, acc) config."""
+    locs, _, _ = sort_locations(generate_irregular_grid(n, seed=0))
+    model = MaternCovariance(*THETA)
+    z = sample_gaussian_field(locs, model, seed=1)
+    targets = generate_irregular_grid(m, seed=7)
+
+    evaluator = LikelihoodEvaluator(
+        locs, z, model, variant=variant, acc=acc, tile_size=nb
+    )
+    t0 = time.perf_counter()
+    loglik = evaluator(np.asarray(THETA, dtype=float))
+    fit_wall = time.perf_counter() - t0
+    measured_fit = dict(evaluator.times.stages)
+
+    engine = PredictionEngine(
+        locs, z, model, variant=variant, acc=acc, tile_size=nb
+    )
+    t0 = time.perf_counter()
+    engine.predict(targets)
+    predict_wall = time.perf_counter() - t0
+
+    eff_acc = acc if acc is not None else 1e-9
+    predicted = predict_workload(
+        profile, n, variant=variant, nb=nb, acc=eff_acc, m=m
+    )
+    pred_fit_s = predicted["fit_iteration"]["total_s"]
+    pred_predict_s = predicted["predict"]["total_s"]
+
+    return {
+        "n": n,
+        "m": m,
+        "variant": variant,
+        "tile_size": nb,
+        "accuracy": acc,
+        "loglik": float(loglik),
+        "measured": {
+            "fit_total_s": fit_wall,
+            "fit_stages_s": measured_fit,
+            "predict_total_s": predict_wall,
+        },
+        "predicted": {
+            "fit_total_s": pred_fit_s,
+            "fit_phases_s": predicted["fit_iteration"]["phases"],
+            "predict_total_s": pred_predict_s,
+        },
+        "ratio": {
+            "fit": pred_fit_s / fit_wall,
+            "predict": pred_predict_s / predict_wall,
+        },
+    }
+
+
+def run_plan_http(profile) -> dict:
+    """Save the profile, serve plans from it, fetch one over HTTP."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = profile.save(Path(tmp) / "profile.json")
+        t0 = time.perf_counter()
+        with ServingServer(
+            models={}, num_workers=1, calibration_profile=path
+        ) as server:
+            client = ServingClient(server.url)
+            t1 = time.perf_counter()
+            payload = client.plan(900)
+            plan_latency = time.perf_counter() - t1
+        return {
+            "boot_s": t1 - t0,
+            "plan_latency_s": plan_latency,
+            "config": payload["config"],
+            "predicted_fit_total_s": payload["predicted"]["fit_iteration"]["total_s"],
+        }
+
+
+def run_bench(
+    *, n: int = 900, m: int = 100, sizes=(64, 128, 256), repeats: int = 3, seed: int = 0
+) -> dict:
+    calib = run_calibration(sizes, repeats, seed)
+    profile = calib.pop("profile")
+    planner = Planner(profile)
+
+    # Workload 1: dense tiles at the planner's own choice of nb.
+    tile_plan = planner.plan(n, m=m, substrate="full-tile")
+    tile = measure_workload(
+        profile, n, m, variant="full-tile", nb=tile_plan.tile_size, acc=None
+    )
+
+    # Workload 2: TLR at the planner's choice over a capped ladder.
+    tlr_plan = planner.plan(
+        n, m=m, substrate="tlr", tile_sizes=TLR_TILE_SIZES
+    )
+    tlr = measure_workload(
+        profile, n, m, variant="tlr", nb=tlr_plan.tile_size, acc=tlr_plan.accuracy
+    )
+
+    http = run_plan_http(profile)
+
+    ratios = [
+        tile["ratio"]["fit"],
+        tile["ratio"]["predict"],
+        tlr["ratio"]["fit"],
+        tlr["ratio"]["predict"],
+    ]
+    return {
+        "summary": {
+            "probe_wall_s": calib["probe_wall_s"],
+            "constants": calib["constants"],
+            "worst_ratio": max(max(r, 1.0 / r) for r in ratios),
+            "all_within_2x": all(0.5 <= r <= 2.0 for r in ratios),
+            "plan_http_latency_s": http["plan_latency_s"],
+        },
+        "calibration": calib,
+        "workloads": {"full_tile": tile, "tlr": tlr},
+        "plan_http": http,
+    }
+
+
+def write_report(report: dict, out: Optional[str] = None) -> Path:
+    """Write the report JSON (default: ``results/BENCH_autotune.json``)."""
+    if out is None:
+        from repro.experiments.common import results_dir
+
+        path = results_dir() / "BENCH_autotune.json"
+    else:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_autotune_predicts_measured_within_2x(outdir):
+    """Benchmark-suite entry: fitted model vs measured phase times.
+
+    The 2x band is asserted on both workloads' fit *and* predict
+    totals — this is the acceptance gate for the self-tuning loop.
+    """
+    report = run_bench()
+    for name, workload in report["workloads"].items():
+        for op in ("fit", "predict"):
+            ratio = workload["ratio"][op]
+            assert 0.5 <= ratio <= 2.0, (
+                f"{name} {op}: predicted/measured ratio {ratio:.3f} outside "
+                f"the 2x band (measured {workload['measured'][f'{op}_total_s']:.4f}s, "
+                f"predicted {workload['predicted'][f'{op}_total_s']:.4f}s)"
+            )
+    assert report["plan_http"]["config"]["tile_size"] >= 1
+    write_report(report)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=900)
+    parser.add_argument("--m", type=int, default=100)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default=None)
+    args = parser.parse_args()
+    report = run_bench(n=args.n, m=args.m, repeats=args.repeats, seed=args.seed)
+    path = write_report(report, args.out)
+    summary = report["summary"]
+    print(f"probe wall     : {summary['probe_wall_s']:.2f}s")
+    for key, value in sorted(summary["constants"].items()):
+        print(f"  {key:<16}: {value:.6g}")
+    for name, workload in report["workloads"].items():
+        print(
+            f"{name:<10} fit ratio {workload['ratio']['fit']:.3f}  "
+            f"predict ratio {workload['ratio']['predict']:.3f}"
+        )
+    print(f"all within 2x  : {summary['all_within_2x']}")
+    print(f"report         : {path}")
+
+
+if __name__ == "__main__":
+    main()

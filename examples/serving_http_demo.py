@@ -4,26 +4,31 @@
 ``examples/serving_demo.py`` serves a persisted fit inside one process.
 This demo runs the full production shape on top of it:
 
-1. **Fit** a Matérn model by TLR MLE and **save** it as a bundle.
-2. **Serve** it from a :class:`~repro.serving.ServingServer` — worker
+1. **Plan before you fit**: :func:`repro.plan` micro-calibrates this
+   host (seconds of seeded probes, cached for the process) and searches
+   the fitted performance model for the cheapest feasible config — the
+   fit below adopts the planned tile size instead of a guess. The same
+   search is served by ``GET /v1/plan`` once the server is up.
+2. **Fit** a Matérn model by TLR MLE and **save** it as a bundle.
+3. **Serve** it from a :class:`~repro.serving.ServingServer` — worker
    *processes* (each hosting a registry + micro-batching service)
    behind a stdlib HTTP front-end that shards model ids onto workers
    by stable hash.
-3. **Concurrent clients**: a pool of threads, each with its own
+4. **Concurrent clients**: a pool of threads, each with its own
    :class:`~repro.serving.ServingClient`, hammers the endpoint; every
    response is verified **bit-identical** to calling
    ``MLEstimator.predict`` in the fitting process — JSON's float
    encoding round-trips every finite float64 exactly.
-4. **Binary transport**: the same predict over
+5. **Binary transport**: the same predict over
    ``application/x-repro-npy`` — raw little-endian float64 frames,
    streamed both ways, pipelined over one connection — bit-identical
    to the JSON answer and several times smaller on the wire (map-grid
    targets deflate on top).
-5. **Hot-reload**: the model is re-fitted (here: refit at a nudged
+6. **Hot-reload**: the model is re-fitted (here: refit at a nudged
    theta), saved, and swapped in via ``POST /v1/models/<id>/reload``
    while clients keep hammering — zero failed requests; traffic drains
    from old-engine answers to new-engine answers.
-6. **Reading a trace**: telemetry is armed before the server starts
+7. **Reading a trace**: telemetry is armed before the server starts
    (one ``configure(enabled=True)`` — workers inherit it), so every
    request can answer "where did my time go". The client opens a
    trace, predicts once, and fetches ``GET /v1/trace/<id>``: one
@@ -48,6 +53,7 @@ import numpy as np
 from repro.data import generate_irregular_grid, sample_gaussian_field, sort_locations
 from repro.kernels import MaternCovariance
 from repro.mle import MLEstimator, PredictionEngine
+from repro.perfmodel import Planner, default_profile
 from repro.serving import ServingClient, ServingServer, wire
 from repro.telemetry import configure_telemetry
 from repro.telemetry import context as trace_context
@@ -64,8 +70,21 @@ def main() -> None:
     truth = MaternCovariance(1.0, 0.12, 0.5)
     z = sample_gaussian_field(locs, truth, seed=1)
 
-    # -- 1. fit + save
-    est = MLEstimator(locs, z, variant="tlr", acc=1e-7, tile_size=100)
+    # -- 1. plan before you fit: micro-calibrate this host (~1 s of
+    # seeded probes, cached for the process) and let the fitted model
+    # choose the tile size. The ladder is capped so the TLR substrate
+    # keeps several tiles per side at this small n.
+    tuned = Planner(default_profile()).plan(
+        N_TRAIN, substrate="tlr", accuracy=1e-7, tile_sizes=(50, 80, 100, 134)
+    )
+    predicted = tuned.predicted["fit_iteration"]["total_s"]
+    print(
+        f"planned config: nb={tuned.tile_size}, "
+        f"predicted fit iteration {predicted * 1e3:.1f} ms"
+    )
+
+    # -- 2. fit + save (at the planned tile size)
+    est = MLEstimator(locs, z, variant="tlr", acc=1e-7, tile_size=tuned.tile_size)
     fit = est.fit(maxiter=40)
     print(f"fitted theta = {np.round(fit.theta, 4)}  ({fit.n_evals} evaluations)")
 
@@ -78,9 +97,9 @@ def main() -> None:
         bundle_path = est.save_fit(fit, Path(tmp) / f"{MODEL_ID}.bundle")
         print(f"saved bundle to {bundle_path.name}")
 
-        # -- 2. serve: worker processes behind an HTTP router.
+        # -- 3. serve: worker processes behind an HTTP router.
         # Telemetry armed up front: workers spawned by this server
-        # inherit it, so step 6 can assemble cross-process traces.
+        # inherit it, so step 7 can assemble cross-process traces.
         configure_telemetry(enabled=True)
         with ServingServer(
             {MODEL_ID: bundle_path},
@@ -90,7 +109,14 @@ def main() -> None:
             print(f"serving on {server.url} "
                   f"(model on worker {server.worker_for(MODEL_ID)})")
 
-            # -- 3. concurrent clients, bit-identity verified per response
+            # The planner is also served: ops can ask the running fleet
+            # what config a future workload should use (router-side, no
+            # worker round-trip, same calibrated profile as step 1).
+            with ServingClient(server.url) as admin:
+                over_http = admin.plan(N_TRAIN, substrate="tlr")
+            print(f"GET /v1/plan?n={N_TRAIN}: {over_http['config']}")
+
+            # -- 4. concurrent clients, bit-identity verified per response
             def hammer(idx: int) -> float:
                 with ServingClient(server.url) as client:
                     t0 = time.perf_counter()
@@ -111,7 +137,7 @@ def main() -> None:
             print(f"mean client latency {np.mean(latencies) * 1e3:.1f} ms")
             print("every HTTP response bit-identical to the fitting process: yes")
 
-            # -- 4. binary transport: bit-identical, smaller, pipelined
+            # -- 5. binary transport: bit-identical, smaller, pipelined
             k = 80
             xs = np.linspace(0.0, 1.0, k)
             gx, gy = np.meshgrid(xs, xs, indexing="ij")
@@ -148,8 +174,8 @@ def main() -> None:
             print(f"pipelined {len(targets)} predicts on one connection: "
                   "all bit-identical")
 
-            # -- 5. hot-reload under traffic
-            refit = MLEstimator(locs, z, variant="tlr", acc=1e-7, tile_size=100)
+            # -- 6. hot-reload under traffic
+            refit = MLEstimator(locs, z, variant="tlr", acc=1e-7, tile_size=tuned.tile_size)
             fit2 = refit.fit(maxiter=60)  # the "nightly refit"
             new_path = refit.save_fit(fit2, Path(tmp) / f"{MODEL_ID}-v2.bundle")
             new_refs = [refit.predict(fit2, t) for t in targets]
@@ -188,7 +214,7 @@ def main() -> None:
             )
             print("post-reload traffic serves the re-fitted model: yes")
 
-            # -- 6. reading a trace: where did one predict spend its time?
+            # -- 7. reading a trace: where did one predict spend its time?
             with ServingClient(server.url) as client:
                 ctx = trace_context.new_trace()
                 with trace_context.activate(ctx):

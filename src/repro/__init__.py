@@ -28,7 +28,9 @@ Estimation for the Prediction of Large-Scale Geostatistics Simulations*
   (``X-Repro-Trace``), per-phase spans, a unified metrics registry,
   and Prometheus/JSONL export across serving, fitting, and the runtime;
 * :mod:`repro.perfmodel` — machine/cluster models and the performance
-  estimator standing in for the paper's Intel servers and Shaheen-2;
+  estimator standing in for the paper's Intel servers and Shaheen-2,
+  plus host micro-calibration and the self-tuning planner
+  (:func:`repro.plan`, ``GET /v1/plan``);
 * :mod:`repro.experiments` — drivers regenerating every table and figure.
 
 Quickstart
@@ -88,6 +90,7 @@ from .telemetry import (
     get_registry,
     span,
 )
+from .perfmodel.planner import plan
 from .serving import (
     ModelBundle,
     ModelRegistry,
@@ -143,6 +146,7 @@ __all__ = [
     "configure_telemetry",
     "get_registry",
     "span",
+    "plan",
     "ModelBundle",
     "ModelRegistry",
     "PredictionService",

@@ -171,6 +171,25 @@ class Config:
         oldest and counts drops; the optional JSONL sink stops writing
         past the bound). Also bounds the runtime's per-``Runtime``
         task-event ring when telemetry arms it implicitly.
+    auto_tune:
+        Opt-in self-tuning: when the caller leaves ``tile_size`` at its
+        default, :class:`~repro.mle.estimator.MLEstimator` and bundle
+        registration (:class:`~repro.serving.store.ModelBundle`) adopt
+        the tile size planned by the calibrated performance model
+        (:mod:`repro.perfmodel.planner`) for the problem's ``n`` and
+        substrate instead of the static ``tile_size`` default. The plan
+        comes from ``autotune_profile`` when set, else from a cached
+        quick in-process calibration. Planning failures fall back
+        silently to the static default — auto-tuning must never make a
+        fit fail. Off by default.
+    autotune_profile:
+        Path of a persisted
+        :class:`~repro.perfmodel.autotune.CalibrationProfile` to plan
+        from (created with ``python -m repro.perfmodel.autotune --out
+        ...``). Empty string (the default) means "calibrate this host
+        in-process on first use and cache the result for the process
+        lifetime". If the path does not exist yet it is created by
+        running the quick probe suite and saved for reuse.
     """
 
     tile_size: int = 250
@@ -200,6 +219,8 @@ class Config:
     serving_max_body: int = 64 * 1024 * 1024
     telemetry_enabled: bool = False
     telemetry_max_spans: int = 10_000
+    auto_tune: bool = False
+    autotune_profile: str = ""
 
     def __post_init__(self) -> None:
         self.validate()
@@ -290,6 +311,15 @@ class Config:
         if self.telemetry_max_spans < 1:
             raise ConfigurationError(
                 f"telemetry_max_spans must be >= 1, got {self.telemetry_max_spans}"
+            )
+        if not isinstance(self.auto_tune, bool):
+            raise ConfigurationError(
+                f"auto_tune must be a bool, got {self.auto_tune!r}"
+            )
+        if not isinstance(self.autotune_profile, str):
+            raise ConfigurationError(
+                "autotune_profile must be a path string ('' = in-process "
+                f"calibration), got {self.autotune_profile!r}"
             )
 
     def resolved_workers(self) -> int:

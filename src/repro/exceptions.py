@@ -64,6 +64,29 @@ class OptimizationError(ReproError):
     """The derivative-free optimizer failed to make progress."""
 
 
+class CalibrationError(ReproError):
+    """A performance-model calibration could not be produced or read.
+
+    Raised when a span sink exists but holds no usable measurements
+    (telemetry was never armed with ``sink_dir=``, or the run emitted
+    nothing), when probe timings are degenerate (non-positive clock
+    deltas), or when a persisted
+    :class:`~repro.perfmodel.autotune.CalibrationProfile` is missing,
+    torn, or of an unsupported version. The message says which input was
+    empty/bad and what to do about it.
+    """
+
+
+class PlanError(ReproError):
+    """The planner could not produce a feasible execution plan.
+
+    Raised for invalid plan requests (non-positive ``n``, unknown
+    substrate, out-of-range accuracy) and when every candidate
+    configuration is modeled out-of-memory on the calibrated host.
+    Maps to HTTP 400 on ``GET /v1/plan``.
+    """
+
+
 class FittingError(ReproError):
     """Base class for errors raised by the :mod:`repro.fitting` subsystem.
 

@@ -156,6 +156,19 @@ class MLEstimator:
         self.model = model or MaternCovariance(metric=metric)
         self.variant = variant
         self.acc = acc
+        if (
+            tile_size is None
+            and variant in ("full-tile", "tlr")
+            and get_config().auto_tune
+        ):
+            # Opt-in self-tuning: adopt the calibrated planner's nb when
+            # the caller left tile_size at its default. None (planning
+            # failed) falls through to the static config default.
+            from ..perfmodel.planner import planned_tile_size
+
+            tile_size = planned_tile_size(
+                locations.shape[0], variant=variant, acc=acc
+            )
         self.evaluator = LikelihoodEvaluator(
             locations,
             z,

@@ -19,7 +19,15 @@ subpackage reproduces the *performance structure* instead:
   on small tile counts;
 * :mod:`calibrate` — replay a recorded telemetry span sink
   (:mod:`repro.telemetry`) into measured per-phase costs, comparable
-  against the analytic predictions.
+  against the analytic predictions;
+* :mod:`autotune` — seeded micro-probes (GEMM/POTRF/generation/
+  compression/tile-Cholesky) that fit the model's machine constants by
+  least squares on the current host and persist them as a versioned
+  :class:`~repro.perfmodel.autotune.CalibrationProfile`;
+* :mod:`planner` — searches the fitted model for the cheapest feasible
+  configuration (tile size, TLR accuracy, compression batch, serving
+  workers, batching window) with predicted phase times; exposed as
+  :func:`repro.plan` and ``GET /v1/plan``.
 """
 
 from .machine import MachineSpec, MACHINES, get_machine
@@ -38,6 +46,25 @@ from .costmodel import TaskCost, task_time
 from .analytic import PerfEstimate, estimate_mle_iteration, estimate_prediction
 from .calibrate import compare_to_estimate, load_spans, phase_costs
 from .distsim import DistributedSimulator, SimReport
+from .autotune import (
+    CalibrationProfile,
+    ProbeSample,
+    autotune,
+    fit_constants,
+    fit_profile,
+    run_probes,
+    samples_from_spans,
+)
+from .planner import (
+    Plan,
+    Planner,
+    default_profile,
+    plan,
+    planned_tile_size,
+    predict_workload,
+    set_default_profile,
+    task_counts,
+)
 
 __all__ = [
     "MachineSpec",
@@ -64,4 +91,19 @@ __all__ = [
     "load_spans",
     "phase_costs",
     "compare_to_estimate",
+    "CalibrationProfile",
+    "ProbeSample",
+    "autotune",
+    "fit_constants",
+    "fit_profile",
+    "run_probes",
+    "samples_from_spans",
+    "Plan",
+    "Planner",
+    "default_profile",
+    "plan",
+    "planned_tile_size",
+    "predict_workload",
+    "set_default_profile",
+    "task_counts",
 ]

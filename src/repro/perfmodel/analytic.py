@@ -328,7 +328,7 @@ def estimate_mle_iteration(
     if machine is not None:
         cores = machine.cores
         breakdown = {
-            "generation": _class_seconds(gen, machine, cores, machine.eff_dense * 0.5),
+            "generation": _class_seconds(gen, machine, cores, machine.gen_efficiency),
             "solve": _class_seconds(solve, machine, cores, eff),
         }
         chol_s = sum(_class_seconds(c, machine, cores, eff) for c in chol.values())
@@ -347,7 +347,7 @@ def estimate_mle_iteration(
     p = cluster.n_nodes
     cores = cluster.total_cores
     breakdown = {
-        "generation": _class_seconds(gen, node, node.cores, node.eff_dense * 0.5) / p,
+        "generation": _class_seconds(gen, node, node.cores, node.gen_efficiency) / p,
         "solve": _class_seconds(solve, node, node.cores, eff) / min(p, max(1, nt)),
     }
     chol_s = sum(_class_seconds(c, node, node.cores, eff) for c in chol.values()) / p
@@ -413,7 +413,7 @@ def estimate_prediction(
     node = machine if machine is not None else cluster.node  # type: ignore[union-attr]
     scale = 1 if machine is not None else cluster.n_nodes  # type: ignore[union-attr]
     extra = TaskCost(2.0 * m * n + KERNEL_EVAL_FLOPS * m * n, 8.0 * m * n)
-    extra_s = _class_seconds(extra, node, node.cores, node.eff_dense * 0.5) / scale
+    extra_s = _class_seconds(extra, node, node.cores, node.gen_efficiency) / scale
     base.breakdown["cross_covariance"] = extra_s
     base.time_s += extra_s
     base.flops += extra.flops

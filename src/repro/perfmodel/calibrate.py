@@ -26,24 +26,37 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
-from ..exceptions import TelemetryError
+from ..exceptions import CalibrationError, TelemetryError
 
 __all__ = ["load_spans", "phase_costs", "compare_to_estimate", "format_report"]
 
 
-def load_spans(sink_dir: Union[str, Path]) -> List[dict]:
+def load_spans(
+    sink_dir: Union[str, Path], *, allow_empty: bool = False
+) -> List[dict]:
     """Read every span from a telemetry sink directory.
 
     Reads all ``spans-*.jsonl`` files (one per process). Malformed
     lines — a process killed mid-write leaves at most one torn tail
     line per file — are skipped, not fatal: a chaos run's sink must
     still calibrate.
+
+    A missing directory raises :class:`~repro.exceptions.TelemetryError`.
+    A directory that exists but yields **zero** spans (no ``spans-*.jsonl``
+    files, or files with no parseable span records) raises
+    :class:`~repro.exceptions.CalibrationError` — calibrating against
+    nothing is always a misconfiguration (telemetry was never armed with
+    ``configure(enabled=True, sink_dir=...)``, or the measured run never
+    happened) and used to be silently reported as an empty cost table.
+    Pass ``allow_empty=True`` to get the old ``[]`` behavior.
     """
     root = Path(sink_dir)
     if not root.is_dir():
         raise TelemetryError(f"span sink directory {str(root)!r} does not exist")
     spans: List[dict] = []
+    n_files = 0
     for path in sorted(root.glob("spans-*.jsonl")):
+        n_files += 1
         with path.open("r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -55,6 +68,18 @@ def load_spans(sink_dir: Union[str, Path]) -> List[dict]:
                     continue  # torn tail line from a killed process
                 if isinstance(rec, dict) and "name" in rec and "duration" in rec:
                     spans.append(rec)
+    if not spans and not allow_empty:
+        detail = (
+            f"its {n_files} spans-*.jsonl file(s) contain no span records"
+            if n_files
+            else "it contains no spans-*.jsonl files"
+        )
+        raise CalibrationError(
+            f"span sink directory {str(root)!r} exists but {detail}; arm "
+            "telemetry with configure(enabled=True, sink_dir=...) and run "
+            "the workload first, or pass allow_empty=True to accept an "
+            "empty sink"
+        )
     return spans
 
 

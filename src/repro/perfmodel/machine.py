@@ -12,7 +12,7 @@ Full-block > Full-tile ordering of Figure 3 without per-machine tuning.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ..exceptions import ConfigurationError
 
@@ -48,6 +48,12 @@ class MachineSpec:
         Achievable memory bandwidth, GB/s (STREAM-like).
     mem_gb:
         Usable DRAM capacity, GB.
+    eff_gen:
+        Sustained fraction of peak for covariance *generation* kernels
+        (transcendental-heavy Matérn evaluation). ``None`` — the preset
+        machines — means "use the historical ``eff_dense / 2`` guess";
+        a calibrated profile (:mod:`repro.perfmodel.autotune`) measures
+        it directly on the host.
     """
 
     name: str
@@ -59,6 +65,7 @@ class MachineSpec:
     eff_lr: float
     mem_bw_gbs: float
     mem_gb: float
+    eff_gen: Optional[float] = None
 
     @property
     def peak_gflops(self) -> float:
@@ -73,6 +80,11 @@ class MachineSpec:
     def sustained_gflops(self, efficiency: float) -> float:
         """Peak scaled by an efficiency fraction."""
         return self.peak_gflops * efficiency
+
+    @property
+    def gen_efficiency(self) -> float:
+        """Generation-kernel efficiency, with the ``eff_dense/2`` fallback."""
+        return self.eff_gen if self.eff_gen is not None else self.eff_dense * 0.5
 
 
 #: The paper's shared-memory platforms (§VIII-A) plus the Shaheen-2 node.

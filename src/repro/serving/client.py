@@ -829,6 +829,34 @@ class ServingClient:
             return self._request_text("GET", "/v1/metrics?format=prometheus")
         return self._request("GET", "/v1/metrics")
 
+    def plan(
+        self,
+        n: int,
+        *,
+        m: Optional[int] = None,
+        substrate: Optional[str] = None,
+        accuracy: Optional[float] = None,
+    ) -> dict:
+        """Ask the server's calibrated planner for the cheapest config.
+
+        ``GET /v1/plan`` — answered router-side from the server's
+        :class:`~repro.perfmodel.autotune.CalibrationProfile`, no
+        worker round-trip. ``n`` is the problem size; ``m`` the number
+        of prediction points (server default 100); ``substrate`` pins
+        ``full-block``/``full-tile``/``tlr``; ``accuracy`` pins the TLR
+        tolerance. Returns the plan dict (``config``, ``predicted``,
+        ``memory``, ``search``, ``profile``). Malformed parameters or
+        an infeasible search raise :class:`~repro.exceptions.PlanError`.
+        """
+        params: Dict[str, str] = {"n": str(int(n))}
+        if m is not None:
+            params["m"] = str(int(m))
+        if substrate is not None:
+            params["substrate"] = substrate
+        if accuracy is not None:
+            params["accuracy"] = repr(float(accuracy))
+        return self._request("GET", "/v1/plan?" + urllib.parse.urlencode(params))
+
     def trace(self, trace_id: str) -> dict:
         """The assembled span tree of one request trace.
 

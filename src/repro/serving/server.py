@@ -61,6 +61,15 @@ Endpoints
     The assembled span tree of one request trace, joined across the
     router and every worker process (telemetry must be armed — see
     :mod:`repro.telemetry`).
+``GET /v1/plan``
+    Self-tuning planner: ``?n=<locations>&m=<targets>&substrate=<auto|
+    full-block|full-tile|tlr>&accuracy=<eps>`` → the cheapest feasible
+    configuration (tile size, TLR accuracy, compression batch, worker
+    count, batching window) with predicted per-phase times, computed
+    router-side (no worker round-trip) from the host's persisted
+    :class:`~repro.perfmodel.autotune.CalibrationProfile`. Invalid
+    requests are 400 (:class:`~repro.exceptions.PlanError`); a broken
+    profile is 500 (:class:`~repro.exceptions.CalibrationError`).
 ``POST /v1/models/<id>``
     Register a bundle path on the owning worker: ``{"path"}`` — or,
     with a binary Content-Type, register-by-upload: the body is the
@@ -110,6 +119,7 @@ from ..config import get_config
 from ..exceptions import (
     BundleCorruptError,
     BundleError,
+    CalibrationError,
     CircuitOpenError,
     ConfigurationError,
     DeadlineExceededError,
@@ -119,6 +129,7 @@ from ..exceptions import (
     LoadShedError,
     ModelNotFoundError,
     PayloadTooLargeError,
+    PlanError,
     PredictionError,
     ReproError,
     ServerError,
@@ -169,6 +180,7 @@ _WIRE_EXCEPTIONS: Dict[str, type] = {
     for cls in (
         BundleCorruptError,
         BundleError,
+        CalibrationError,
         CircuitOpenError,
         ConfigurationError,
         DeadlineExceededError,
@@ -178,6 +190,7 @@ _WIRE_EXCEPTIONS: Dict[str, type] = {
         LoadShedError,
         ModelNotFoundError,
         PayloadTooLargeError,
+        PlanError,
         PredictionError,
         ReproError,
         ServerError,
@@ -214,6 +227,8 @@ _STATUS_BY_EXCEPTION: Tuple[Tuple[type, int], ...] = (
     (FittingError, 400),
     (InjectedFaultError, 500),
     (PayloadTooLargeError, 413),
+    (PlanError, 400),
+    (CalibrationError, 500),
     (PredictionError, 500),
     (WireFormatError, 400),
     (ShapeError, 400),
@@ -790,6 +805,13 @@ class _Handler(BaseHTTPRequestHandler):
                     self._reply_no_route()
                 else:
                     self._reply(200, server.trace_request(parts[2]))
+            elif self.path.startswith("/v1/plan"):
+                split = urllib.parse.urlsplit(self.path)
+                if split.path != "/v1/plan":
+                    self._reply_no_route()
+                    return
+                query = urllib.parse.parse_qs(split.query)
+                self._reply(200, server.plan_request(query))
             elif self.path.startswith("/v1/jobs"):
                 split = urllib.parse.urlsplit(self.path)
                 parts = [urllib.parse.unquote(p) for p in split.path.split("/") if p]
@@ -964,6 +986,14 @@ class ServingServer:
         (models registered from it roll back to their last external
         bundle, like ephemeral ``jobs_dir`` refits). Pass a real path
         to keep uploaded bundles across restarts.
+    calibration_profile:
+        Source of the ``GET /v1/plan`` planner's machine constants: a
+        :class:`~repro.perfmodel.autotune.CalibrationProfile`, or a
+        path to one persisted by ``python -m repro.perfmodel.autotune
+        --out ...``. Default ``None`` resolves lazily on the first plan
+        request via :func:`repro.perfmodel.planner.default_profile`
+        (the configured ``autotune_profile`` path, else a quick
+        in-process calibration cached for the server's lifetime).
 
     Examples
     --------
@@ -990,6 +1020,7 @@ class ServingServer:
         max_inflight: Optional[int] = None,
         max_body: Optional[int] = None,
         upload_dir: Optional[Union[str, Path]] = None,
+        calibration_profile: Optional[Union[str, Path, "CalibrationProfile"]] = None,
     ) -> None:
         cfg = get_config()
         self.num_workers = cfg.serving_workers if num_workers is None else int(num_workers)
@@ -1065,6 +1096,11 @@ class ServingServer:
         # respawn on a handler thread must arm the fresh worker the
         # same way the original was armed.
         self._telemetry_settings = _telemetry.settings()
+        # Planner state for GET /v1/plan: resolved lazily on the first
+        # plan request so servers that never plan pay nothing.
+        self._calibration_profile = calibration_profile
+        self._planner = None
+        self._planner_lock = threading.Lock()
 
     # ------------------------------------------------------------- lifecycle
     def _worker_config(self, worker_id: int) -> dict:
@@ -1665,6 +1701,83 @@ class ServingServer:
                 "id unknown, or evicted from the bounded span ring)"
             )
         return assemble_trace(trace_id, spans)
+
+    def _get_planner(self):
+        """The lazily built :class:`~repro.perfmodel.planner.Planner`.
+
+        Resolution order: the ``calibration_profile`` constructor
+        argument (a profile object or a path to a persisted one), else
+        :func:`~repro.perfmodel.planner.default_profile` (configured
+        ``autotune_profile`` path, or a quick in-process calibration
+        cached for the process lifetime). Router-side only — planning
+        never touches a worker.
+        """
+        from ..perfmodel.autotune import CalibrationProfile
+        from ..perfmodel.planner import Planner, default_profile
+
+        with self._planner_lock:
+            if self._planner is None:
+                source = self._calibration_profile
+                if source is None:
+                    profile = default_profile()
+                elif isinstance(source, CalibrationProfile):
+                    profile = source
+                else:
+                    profile = CalibrationProfile.load(source)
+                self._planner = Planner(profile)
+            return self._planner
+
+    def plan_request(self, query: Dict[str, List[str]]) -> dict:
+        """Answer ``GET /v1/plan`` from parsed query parameters.
+
+        Router-side — no worker round-trip. ``n`` is required;
+        ``m`` (prediction points, default 100), ``substrate``
+        (``full-block``/``full-tile``/``tlr``, default: search all
+        feasible) and ``accuracy`` (TLR tolerance, default: ladder
+        search) are optional. Malformed parameters raise
+        :class:`PlanError` → 400; an unreadable calibration profile
+        raises :class:`CalibrationError` → 500.
+        """
+        if not self._started:
+            raise ServiceClosedError("server is not running (use start() or 'with')")
+
+        def _scalar(key: str) -> Optional[str]:
+            values = query.get(key)
+            if not values:
+                return None
+            return values[-1]
+
+        raw_n = _scalar("n")
+        if raw_n is None:
+            raise PlanError(
+                "missing required query parameter 'n' (problem size, e.g. "
+                "GET /v1/plan?n=900)"
+            )
+        try:
+            n = int(raw_n)
+        except ValueError:
+            raise PlanError(f"query parameter 'n' must be an integer, got {raw_n!r}")
+        m = 100
+        raw_m = _scalar("m")
+        if raw_m is not None:
+            try:
+                m = int(raw_m)
+            except ValueError:
+                raise PlanError(
+                    f"query parameter 'm' must be an integer, got {raw_m!r}"
+                )
+        accuracy = None
+        raw_acc = _scalar("accuracy")
+        if raw_acc is not None:
+            try:
+                accuracy = float(raw_acc)
+            except ValueError:
+                raise PlanError(
+                    f"query parameter 'accuracy' must be a float, got {raw_acc!r}"
+                )
+        substrate = _scalar("substrate")
+        planner = self._get_planner()
+        return planner.plan(n, m=m, substrate=substrate, accuracy=accuracy).to_dict()
 
     def health(self) -> dict:
         alive = [handle.alive for handle in self._workers]

@@ -203,7 +203,20 @@ class ModelBundle:
         if self.z is not None:
             self.z = np.ascontiguousarray(self.z, dtype=np.float64)
         self.acc = cfg.tlr_accuracy if self.acc is None else float(self.acc)
-        self.tile_size = cfg.tile_size if self.tile_size is None else int(self.tile_size)
+        if self.tile_size is None:
+            planned = None
+            if cfg.auto_tune and self.variant in ("full-tile", "tlr"):
+                # Opt-in self-tuning (Config.auto_tune): registration-time
+                # tile size from the calibrated planner; None (planning
+                # failed) falls back to the static default.
+                from ..perfmodel.planner import planned_tile_size
+
+                planned = planned_tile_size(
+                    int(self.locations.shape[0]), variant=self.variant, acc=self.acc
+                )
+            self.tile_size = cfg.tile_size if planned is None else planned
+        else:
+            self.tile_size = int(self.tile_size)
         self.compression_method = self.compression_method or cfg.compression_method
         self.truncation = self.truncation or cfg.truncation
 
